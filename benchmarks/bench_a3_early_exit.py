@@ -1,0 +1,73 @@
+"""Ablation A3: early-exit clause ordering in the query executor.
+
+The executor evaluates SMC-free local clauses first and stops when any
+clause comes back empty (an empty clause empties the conjunction).  On
+selective queries this skips the expensive cross-predicate protocols
+entirely; on non-selective queries it changes nothing.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.audit.executor import QueryExecutor
+from repro.crypto import DeterministicRng
+from repro.smc.base import SmcContext
+
+SELECTIVE = "C1 > 100000 and C1 < C2"      # local clause empty
+NON_SELECTIVE = "C1 > 0 and C1 < C2"       # local clause full
+
+
+def build(loaded_store, schema, prime64, early_exit: bool, seed: bytes):
+    store, _ = loaded_store
+    executor = QueryExecutor(
+        store, SmcContext(prime64, DeterministicRng(seed)), schema
+    )
+    executor.early_exit = early_exit
+    return executor
+
+
+class TestEarlyExitAblation:
+    def test_bench_selective_with_early_exit(
+        self, benchmark, loaded_store, schema, prime64
+    ):
+        executor = build(loaded_store, schema, prime64, True, b"a3a")
+        result = benchmark(executor.execute, SELECTIVE)
+        assert result.glsns == [] and result.messages == 0
+
+    def test_bench_selective_without_early_exit(
+        self, benchmark, loaded_store, schema, prime64
+    ):
+        executor = build(loaded_store, schema, prime64, False, b"a3b")
+        result = benchmark(executor.execute, SELECTIVE)
+        assert result.glsns == [] and result.messages > 0
+
+    def test_ablation_report(self, benchmark, loaded_store, schema, prime64):
+        def measure():
+            rows = []
+            for label, criterion in (
+                ("selective", SELECTIVE), ("non-selective", NON_SELECTIVE),
+            ):
+                for early in (True, False):
+                    executor = build(
+                        loaded_store, schema, prime64, early,
+                        f"a3-{label}-{early}".encode(),
+                    )
+                    result = executor.execute(criterion)
+                    rows.append(
+                        (label, "on" if early else "off",
+                         result.messages, result.bytes, len(result.glsns))
+                    )
+            return rows
+
+        rows = benchmark(measure)
+        print_rows(
+            "A3: early-exit clause ordering",
+            ["query", "early-exit", "messages", "bytes", "matches"],
+            rows,
+        )
+        by_key = {(r[0], r[1]): r for r in rows}
+        # Selective: early exit eliminates all traffic.
+        assert by_key[("selective", "on")][2] == 0
+        assert by_key[("selective", "off")][2] > 0
+        # Non-selective: identical results and cost either way.
+        assert by_key[("non-selective", "on")][4] == by_key[("non-selective", "off")][4]

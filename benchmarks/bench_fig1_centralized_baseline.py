@@ -1,0 +1,82 @@
+"""Experiment F1: the centralized auditing model (Figure 1) vs the DLA.
+
+The paper's argument: centralized auditing is operationally simple but
+"puts the absolute trust to the single auditor".  We measure both sides of
+the trade: the centralized model is faster per query (no SMC), while its
+store confidentiality is zero and the DLA's is positive.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.audit.confidentiality import store_confidentiality
+from repro.audit.executor import QueryExecutor
+from repro.baseline.centralized import CentralizedAuditor
+from repro.crypto import DeterministicRng
+from repro.logstore.records import LogRecord
+from repro.smc.base import SmcContext
+from repro.workloads import EcommerceWorkload, paper_table1_rows
+
+QUERIES = [
+    "C1 > 30",
+    "C1 > 30 and Tid = 'T1100265'",
+    "C1 < C2",
+]
+
+
+@pytest.fixture()
+def centralized(schema, loaded_store):
+    store, ticket = loaded_store
+    auditor = CentralizedAuditor(schema)
+    for glsn in store.glsns:
+        auditor.ingest(store.read_record(glsn, ticket))
+    return auditor
+
+
+class TestCentralizedBaseline:
+    def test_bench_centralized_queries(self, benchmark, centralized):
+        def run_all():
+            return [centralized.execute(q) for q in QUERIES]
+
+        results = benchmark(run_all)
+        assert all(isinstance(r, list) for r in results)
+
+    def test_bench_dla_queries(self, benchmark, schema, loaded_store, prime64):
+        store, _ = loaded_store
+        executor = QueryExecutor(
+            store, SmcContext(prime64, DeterministicRng(b"f1")), schema
+        )
+
+        def run_all():
+            return [executor.execute(q).glsns for q in QUERIES]
+
+        results = benchmark(run_all)
+        assert all(isinstance(r, list) for r in results)
+
+    def test_results_identical_but_confidentiality_differs(
+        self, benchmark, schema, plan, loaded_store, centralized, prime64
+    ):
+        """The two models agree on answers; only the trust model differs."""
+        store, _ = loaded_store
+        executor = QueryExecutor(
+            store, SmcContext(prime64, DeterministicRng(b"f1b")), schema
+        )
+
+        def compare():
+            return [
+                (q, executor.execute(q).glsns == centralized.execute(q))
+                for q in QUERIES
+            ]
+
+        agreement = benchmark(compare)
+        assert all(same for _, same in agreement)
+
+        record = LogRecord(1, paper_table1_rows()[0])
+        dla_score = store_confidentiality(record, schema, plan).value
+        table = [
+            ("centralized (Fig. 1)", f"{centralized.store_confidentiality:.3f}"),
+            ("DLA cluster (Fig. 2)", f"{dla_score:.3f}"),
+        ]
+        print_rows("F1: store confidentiality", ["model", "C_store"], table)
+        assert centralized.store_confidentiality == 0.0
+        assert dla_score > 0.0

@@ -1,0 +1,82 @@
+"""Experiment F2: the Figure 2 distributed logging architecture end-to-end.
+
+Measures the full write path through the public service facade (ticket
+check → glsn allocation → fragmentation → per-node store → accumulator
+anchor) and the end-to-end auditing round trip including majority
+agreement and the threshold-signed report.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.core import ApplicationNode, ConfidentialAuditingService
+from repro.crypto import DeterministicRng
+from repro.logstore import paper_fragment_plan, paper_table1_schema
+from repro.workloads import EcommerceWorkload
+
+
+@pytest.fixture(scope="module")
+def service():
+    schema = paper_table1_schema()
+    return ConfidentialAuditingService(
+        schema,
+        paper_fragment_plan(schema),
+        prime_bits=64,
+        rng=DeterministicRng(b"f2-service"),
+    )
+
+
+class TestDistributedLogging:
+    def test_bench_service_bootstrap(self, benchmark):
+        """Cluster bootstrap: CA enrolment + evidence chain + key dealing."""
+        schema = paper_table1_schema()
+
+        def boot():
+            return ConfidentialAuditingService(
+                schema,
+                paper_fragment_plan(schema),
+                prime_bits=64,
+                rng=DeterministicRng(b"f2-boot"),
+            )
+
+        svc = benchmark(boot)
+        assert svc.membership_summary()["size"] == 4
+
+    def test_bench_log_event(self, benchmark, service):
+        node = ApplicationNode.register("writer", service)
+        rows = EcommerceWorkload(seed=7).flat_rows(10)
+        counter = iter(range(10**9))
+
+        def log_one():
+            row = dict(rows[next(counter) % len(rows)])
+            return service.log_event(row, node.ticket)
+
+        receipt = benchmark(log_one)
+        assert receipt.glsn > 0
+
+    def test_bench_audited_query_roundtrip(self, benchmark, service):
+        node = ApplicationNode.register("writer2", service)
+        for row in EcommerceWorkload(seed=8).flat_rows(10):
+            service.log_event(row, node.ticket)
+
+        def roundtrip():
+            report = service.audited_query("C3 = 'order'")
+            assert service.verify_report(report)
+            return report
+
+        report = benchmark(roundtrip)
+        assert report.glsns
+
+    def test_write_cost_report(self, benchmark, service):
+        """Fragment fan-out per logged event: one fragment per DLA node."""
+        node = ApplicationNode.register("writer3", service)
+
+        def observe():
+            before = {n: len(service.store.node_store(n)) for n in service.store.stores}
+            service.log_event({"Tid": "Tf2", "C1": 1, "protocl": "UDP"}, node.ticket)
+            after = {n: len(service.store.node_store(n)) for n in service.store.stores}
+            return [(n, after[n] - before[n]) for n in sorted(after)]
+
+        deltas = benchmark(observe)
+        print_rows("F2: fragments written per event", ["node", "fragments"], deltas)
+        assert all(delta >= 1 for _, delta in deltas)

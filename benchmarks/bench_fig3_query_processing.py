@@ -1,0 +1,85 @@
+"""Experiment F3: distributed confidential query processing (Figure 3).
+
+Reproduces the figure's decomposition — a criterion splitting into local
+subqueries (SQ0, SQ1, ...) and cross subqueries (SQ013-style) conjoined by
+a glsn-keyed secure set intersection — and measures query latency and SMC
+traffic as a function of the local/cross predicate mix.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.audit.executor import QueryExecutor
+from repro.audit.planner import plan_query
+from repro.crypto import DeterministicRng
+from repro.net.simnet import SimNetwork
+from repro.smc.base import SmcContext
+
+# The Figure 3 shape: Q = SQ0 ∧ SQ1 ∧ SQ23-style cross subquery.
+FIG3_CRITERION = "(C1 > 30 or protocl = 'TCP') and Tid = 'T1100265' and C1 < C2"
+
+
+@pytest.fixture()
+def executor(schema, loaded_store, prime64):
+    store, _ = loaded_store
+    return QueryExecutor(
+        store, SmcContext(prime64, DeterministicRng(b"f3")), schema
+    )
+
+
+class TestFigure3Decomposition:
+    def test_decomposition_matches_figure(self, benchmark, schema, plan):
+        qplan = benchmark(plan_query, FIG3_CRITERION, schema, plan)
+        print("\n--- Figure 3 decomposition ---")
+        print(qplan.describe())
+        labels = [sq.label for sq in qplan.subqueries]
+        kinds = [sq.is_cross for sq in qplan.subqueries]
+        assert kinds == [False, False, True]
+        assert labels[2].startswith("SQ1")  # cross subquery named by nodes
+        assert qplan.needs_final_intersection
+
+    def test_bench_fig3_query(self, benchmark, executor):
+        result = benchmark(executor.execute, FIG3_CRITERION)
+        assert result.plan.t == 1
+
+    @pytest.mark.parametrize(
+        "label,criterion",
+        [
+            ("all-local", "C1 > 30 and protocl = 'UDP'"),
+            ("one-cross", "C1 > 30 and Tid = id"),
+            ("cross-order", "C1 < C2"),
+        ],
+    )
+    def test_bench_query_mix(self, benchmark, executor, label, criterion):
+        result = benchmark(executor.execute, criterion)
+        assert result.glsns is not None
+
+    def test_traffic_vs_mix_report(self, benchmark, executor):
+        """Local predicates are free; each cross predicate pays SMC traffic."""
+
+        def sweep():
+            table = []
+            for label, criterion in [
+                ("local", "C1 > 30"),
+                ("local∧local", "C1 > 30 and protocl = 'UDP'"),
+                ("local∧local (2 nodes)", "C1 > 30 and Tid = 'T1100265'"),
+                ("cross-eq", "Tid = id"),
+                ("cross-order", "C1 < C2"),
+                ("fig3", FIG3_CRITERION),
+            ]:
+                result = executor.execute(criterion)
+                table.append(
+                    (label, result.plan.s, result.plan.t, result.messages, result.bytes)
+                )
+            return table
+
+        table = benchmark(sweep)
+        print_rows(
+            "F3: query traffic vs predicate mix",
+            ["query", "s", "t", "messages", "bytes"],
+            table,
+        )
+        by_label = {row[0]: row for row in table}
+        assert by_label["local"][3] == 0            # no traffic at all
+        assert by_label["cross-eq"][3] > 0          # SMC ring engaged
+        assert by_label["cross-order"][3] > by_label["cross-eq"][3]

@@ -1,0 +1,113 @@
+"""Experiment F4: secure set intersection (Figure 4) cost and scaling.
+
+Reproduces the figure's 3-node walk-through exactly, then sweeps the cost
+drivers: party count n (messages grow as n²·|S| relays), set size, and the
+Pohlig-Hellman prime size (modexp cost grows ~cubically in bits).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.crypto import DeterministicRng, shared_prime
+from repro.net.simnet import SimNetwork
+from repro.smc.base import SmcContext
+from repro.smc.intersection import fig4_walkthrough, secure_set_intersection
+
+
+class TestFigure4:
+    def test_bench_walkthrough(self, benchmark):
+        transcript = benchmark(fig4_walkthrough)
+        print("\n--- Figure 4 walk-through ---")
+        print(f"sets:         {transcript['sets']}")
+        print(f"intersection: {transcript['intersection']}")
+        print(f"E132(e) = E321(e) = E213(e): "
+              f"{transcript['commutative_encodings_equal']}")
+        print(f"messages={transcript['messages']}  bytes={transcript['bytes']}  "
+              f"modexp={transcript['modexp']}")
+        assert transcript["intersection"] == ["e"]
+        assert transcript["commutative_encodings_equal"]
+
+    @pytest.mark.parametrize("parties", [2, 3, 5, 8])
+    def test_bench_vs_party_count(self, benchmark, prime64, parties):
+        sets = {f"P{i}": [f"x{j}" for j in range(8)] for i in range(parties)}
+
+        def run():
+            ctx = SmcContext(prime64, DeterministicRng(b"f4p"))
+            return secure_set_intersection(ctx, sets)
+
+        result = benchmark(run)
+        assert len(result.any_value) == 8
+
+    @pytest.mark.parametrize("size", [4, 16, 64])
+    def test_bench_vs_set_size(self, benchmark, prime64, size):
+        sets = {
+            "A": [f"x{j}" for j in range(size)],
+            "B": [f"x{j}" for j in range(size // 2, size + size // 2)],
+            "C": [f"x{j}" for j in range(size)],
+        }
+
+        def run():
+            ctx = SmcContext(prime64, DeterministicRng(b"f4s"))
+            return secure_set_intersection(ctx, sets)
+
+        result = benchmark(run)
+        assert len(result.any_value) == size - size // 2
+
+    @pytest.mark.parametrize("bits", [64, 128, 256])
+    def test_bench_vs_prime_bits(self, benchmark, bits):
+        prime = shared_prime(bits)
+        sets = {"A": [f"x{j}" for j in range(8)], "B": [f"x{j}" for j in range(8)]}
+
+        def run():
+            ctx = SmcContext(prime, DeterministicRng(b"f4b"))
+            return secure_set_intersection(ctx, sets)
+
+        result = benchmark(run)
+        assert len(result.any_value) == 8
+
+    def test_scaling_report(self, benchmark, prime64):
+        """The headline scaling table: messages ∝ n², modexp ∝ n²·|S|."""
+
+        def sweep():
+            table = []
+            for parties in (2, 4, 8):
+                for size in (4, 16):
+                    ctx = SmcContext(prime64, DeterministicRng(b"f4r"))
+                    net = SimNetwork()
+                    sets = {
+                        f"P{i}": [f"x{j}" for j in range(size)]
+                        for i in range(parties)
+                    }
+                    secure_set_intersection(ctx, sets, net=net)
+                    table.append(
+                        (parties, size, net.stats.messages, net.stats.bytes,
+                         ctx.crypto_ops.modexp)
+                    )
+            return table
+
+        table = benchmark(sweep)
+        print_rows(
+            "F4: secure set intersection scaling",
+            ["parties", "set size", "messages", "bytes", "modexp"],
+            table,
+        )
+        # Shape: at fixed set size, messages grow superlinearly in n;
+        # at fixed n, modexp grows linearly in set size.
+        n2 = next(r for r in table if r[0] == 2 and r[1] == 4)
+        n8 = next(r for r in table if r[0] == 8 and r[1] == 4)
+        assert n8[2] > 3 * n2[2]
+        s4 = next(r for r in table if r[0] == 4 and r[1] == 4)
+        s16 = next(r for r in table if r[0] == 4 and r[1] == 16)
+        assert s16[4] >= 3 * s4[4]
+
+    def test_bench_shuffled_variant(self, benchmark, prime64):
+        sets = {"A": [f"x{j}" for j in range(16)],
+                "B": [f"x{j}" for j in range(8, 24)],
+                "C": [f"x{j}" for j in range(16)]}
+
+        def run():
+            ctx = SmcContext(prime64, DeterministicRng(b"f4sh"))
+            return secure_set_intersection(ctx, sets, shuffle=True)
+
+        result = benchmark(run)
+        assert sorted(result.any_value) == sorted(f"x{j}" for j in range(8, 16))

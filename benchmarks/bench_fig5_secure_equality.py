@@ -1,0 +1,104 @@
+"""Experiment F5: secure equality checking (§3.2, "Figure 5" in-text).
+
+Compares the paper's two equality constructions — the blind-TTP
+randomized-mapping route and the commutative singleton-intersection route
+— on latency, messages and modexp, and sweeps the ranking/compare
+primitives built on the same blinding idea (§3.3).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.crypto import DeterministicRng
+from repro.net.simnet import SimNetwork
+from repro.smc.base import SmcContext
+from repro.smc.comparison import secure_compare
+from repro.smc.equality import secure_equality, secure_equality_commutative
+from repro.smc.ranking import secure_ranking
+
+
+class TestSecureEquality:
+    def test_bench_blind_ttp_route(self, benchmark, prime64):
+        def run():
+            ctx = SmcContext(prime64, DeterministicRng(b"f5a"))
+            return secure_equality(ctx, ("A", "salary-record"), ("B", "salary-record"))
+
+        result = benchmark(run)
+        assert result.any_value is True
+
+    def test_bench_commutative_route(self, benchmark, prime64):
+        def run():
+            ctx = SmcContext(prime64, DeterministicRng(b"f5b"))
+            return secure_equality_commutative(
+                ctx, ("A", "salary-record"), ("B", "salary-record")
+            )
+
+        result = benchmark(run)
+        assert result.any_value is True
+
+    def test_route_comparison_report(self, benchmark, prime64):
+        """The blind-TTP route wins on every cost axis (the paper's point
+        about TTP coordination reducing cost)."""
+
+        def measure():
+            ctx_a = SmcContext(prime64, DeterministicRng(b"f5c"))
+            net_a = SimNetwork()
+            secure_equality(ctx_a, ("A", 123), ("B", 123), net=net_a)
+            ctx_b = SmcContext(prime64, DeterministicRng(b"f5d"))
+            net_b = SimNetwork()
+            secure_equality_commutative(ctx_b, ("A", 123), ("B", 123), net=net_b)
+            return [
+                ("blind-TTP (randomized map)", net_a.stats.messages,
+                 net_a.stats.bytes, ctx_a.crypto_ops.modexp),
+                ("commutative (singleton ∩ₛ)", net_b.stats.messages,
+                 net_b.stats.bytes, ctx_b.crypto_ops.modexp),
+            ]
+
+        table = benchmark(measure)
+        print_rows(
+            "F5: equality route comparison",
+            ["route", "messages", "bytes", "modexp"],
+            table,
+        )
+        ttp_row, comm_row = table
+        assert ttp_row[1] <= comm_row[1]
+        assert ttp_row[3] < comm_row[3]
+
+    def test_bench_secure_compare(self, benchmark, prime64):
+        def run():
+            ctx = SmcContext(prime64, DeterministicRng(b"f5e"))
+            return secure_compare(ctx, ("A", 170), ("B", 2400))
+
+        result = benchmark(run)
+        assert result.any_value == "lt"
+
+    @pytest.mark.parametrize("parties", [2, 4, 8, 16])
+    def test_bench_ranking_vs_parties(self, benchmark, prime64, parties):
+        values = {f"P{i}": (i * 37) % 101 for i in range(parties)}
+
+        def run():
+            ctx = SmcContext(prime64, DeterministicRng(b"f5f"))
+            return secure_ranking(ctx, values)
+
+        result = benchmark(run)
+        assert result.any_value["n"] == parties
+
+    def test_ranking_traffic_linear_report(self, benchmark, prime64):
+        def sweep():
+            table = []
+            for parties in (2, 4, 8, 16):
+                ctx = SmcContext(prime64, DeterministicRng(b"f5g"))
+                net = SimNetwork()
+                values = {f"P{i}": i + 1 for i in range(parties)}
+                secure_ranking(ctx, values, net=net)
+                table.append((parties, net.stats.messages, net.stats.bytes))
+            return table
+
+        table = benchmark(sweep)
+        print_rows(
+            "F5/§3.3: blind-TTP ranking traffic (linear in n)",
+            ["parties", "messages", "bytes"],
+            table,
+        )
+        # Exactly 2 messages per party: submit + verdict.
+        assert all(messages == 2 * parties for parties, messages, _ in table)

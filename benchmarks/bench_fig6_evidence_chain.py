@@ -1,0 +1,104 @@
+"""Experiment F6: the undeniable evidence chain (Figure 6).
+
+Measures chain growth (evidence creation + verification per join), full
+chain re-verification cost vs membership size, and the double-invitation
+detector.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.cluster.authority import CredentialAuthority
+from repro.cluster.evidence import ServiceTerms, find_double_invitations, make_evidence
+from repro.cluster.membership import DlaMembership
+from repro.crypto import DeterministicRng
+from repro.crypto.schnorr import SchnorrGroup
+
+
+@pytest.fixture(scope="module")
+def authority():
+    group = SchnorrGroup.generate(128, DeterministicRng(b"f6-group"))
+    return CredentialAuthority(group, DeterministicRng(b"f6-ca"))
+
+
+def grow_chain(authority, size, rng):
+    creds = [authority_enroll(authority, f"node-{size}-{i}") for i in range(size)]
+    membership = DlaMembership(authority, creds[0])
+    for inviter, invitee in zip(creds, creds[1:]):
+        membership.admit_direct(
+            inviter, invitee, ["support:attr"], ["store:attr"], rng
+        )
+    return membership, creds
+
+
+_enrolled = set()
+
+
+def authority_enroll(authority, name):
+    # Enrolment is once-per-identity; salt with a counter across benchmark
+    # rounds.
+    index = 0
+    while (name, index) in _enrolled:
+        index += 1
+    _enrolled.add((name, index))
+    return authority.enroll(f"{name}.{index}")
+
+
+class TestEvidenceChain:
+    def test_bench_single_join(self, benchmark, authority, rng):
+        inviter = authority_enroll(authority, "inviter")
+
+        def join_once():
+            invitee = authority_enroll(authority, "invitee")
+            terms = ServiceTerms(("p",), ("s",))
+            piece = make_evidence(authority, inviter, invitee, terms, index=1, rng=rng)
+            from repro.cluster.evidence import verify_evidence
+
+            verify_evidence(authority, piece)
+            return piece
+
+        piece = benchmark(join_once)
+        assert piece.index == 1
+
+    @pytest.mark.parametrize("size", [4, 8, 16])
+    def test_bench_chain_verification(self, benchmark, authority, rng, size):
+        membership, _ = grow_chain(authority, size, rng)
+        benchmark(membership.verify)
+        assert membership.size == size
+
+    def test_bench_double_invitation_detection(self, benchmark, authority, rng):
+        membership, creds = grow_chain(authority, 6, rng)
+        rogue_target = authority_enroll(authority, "rogue-target")
+        rogue = make_evidence(
+            authority, creds[0], rogue_target,
+            ServiceTerms(("x",), ("y",)), index=2, rng=rng,
+        )
+        pieces = list(membership.chain.pieces) + [rogue]
+        cheaters = benchmark(find_double_invitations, pieces)
+        assert cheaters == [creds[0].pseudonym]
+
+    def test_chain_cost_report(self, benchmark, authority, rng):
+        import time
+
+        def sweep():
+            table = []
+            for size in (2, 4, 8, 16):
+                start = time.perf_counter()
+                membership, _ = grow_chain(authority, size, rng)
+                grow = time.perf_counter() - start
+                start = time.perf_counter()
+                membership.verify()
+                verify = time.perf_counter() - start
+                table.append(
+                    (size, len(membership.chain.pieces),
+                     f"{grow * 1000:.1f}", f"{verify * 1000:.1f}")
+                )
+            return table
+
+        table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_rows(
+            "F6: evidence chain growth/verification (ms)",
+            ["members", "pieces", "grow ms", "verify ms"],
+            table,
+        )
+        assert all(pieces == members - 1 for members, pieces, _, _ in table)

@@ -1,0 +1,84 @@
+"""Experiment F7: the three-way join handshake (Figure 7).
+
+Measures the networked PP → SC → RE exchange: latency, the fixed 3-message
+cost, and the token/evidence verification work on both sides.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.cluster.authority import CredentialAuthority
+from repro.cluster.join import run_join_handshake
+from repro.crypto import DeterministicRng
+from repro.crypto.schnorr import SchnorrGroup
+from repro.net.simnet import SimNetwork
+
+
+@pytest.fixture(scope="module")
+def authority():
+    group = SchnorrGroup.generate(128, DeterministicRng(b"f7-group"))
+    return CredentialAuthority(group, DeterministicRng(b"f7-ca"))
+
+
+_counter = itertools.count()
+
+
+def fresh_pair(authority):
+    i = next(_counter)
+    return (
+        authority.enroll(f"f7-inviter-{i}"),
+        authority.enroll(f"f7-invitee-{i}"),
+    )
+
+
+class TestJoinHandshake:
+    def test_bench_enrolment(self, benchmark, authority):
+        def enroll():
+            i = next(_counter)
+            return authority.enroll(f"f7-enrol-{i}")
+
+        creds = benchmark(enroll)
+        assert authority.verify_token(creds.token)
+
+    def test_bench_full_handshake(self, benchmark, authority):
+        rng = DeterministicRng(b"f7-hs")
+
+        def handshake():
+            inviter, invitee = fresh_pair(authority)
+            net = SimNetwork()
+            return run_join_handshake(
+                net, authority, "Py", inviter, "Px", invitee,
+                proposal=["support:Time"], services=["store:Time"],
+                chain_index=1, rng=rng,
+            ), net
+
+        (piece, net) = benchmark(handshake)
+        assert piece.index == 1
+
+    def test_message_budget_report(self, benchmark, authority):
+        """The handshake is exactly three messages (PP, SC, RE)."""
+        rng = DeterministicRng(b"f7-msg")
+
+        def run():
+            inviter, invitee = fresh_pair(authority)
+            net = SimNetwork()
+            run_join_handshake(
+                net, authority, "Py", inviter, "Px", invitee,
+                proposal=["support:Time", "support:Tid"],
+                services=["store:Time", "store:Tid", "audit:intersect"],
+                chain_index=1, rng=rng,
+            )
+            return [
+                (kind, count, net.stats.bytes_by_kind[kind])
+                for kind, count in sorted(net.stats.by_kind.items())
+            ]
+
+        table = benchmark(run)
+        print_rows("F7: join handshake messages", ["phase", "count", "bytes"], table)
+        assert [row[0] for row in table] == ["join.pp", "join.re", "join.sc"]
+        assert all(count == 1 for _, count, _ in table)
+        # RE carries the evidence piece: it is the heaviest phase.
+        bytes_by_phase = {row[0]: row[2] for row in table}
+        assert bytes_by_phase["join.re"] > bytes_by_phase["join.pp"]

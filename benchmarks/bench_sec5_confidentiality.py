@@ -1,0 +1,130 @@
+"""Experiment E10-E13: the §5 confidentiality metrics (eq. 10-13).
+
+Regenerates the closed-form metrics and sweeps their drivers:
+
+* C_store (eq. 10) vs the undefined-attribute fraction v/w and the
+  cluster size (through the coverage count u);
+* C_auditing (eq. 11) vs the cross-predicate fraction t/s;
+* C_query (eq. 12) and C_DLA (eq. 13) over a generated query/log workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.audit.confidentiality import (
+    auditing_confidentiality,
+    dla_confidentiality,
+    query_confidentiality,
+    store_confidentiality,
+)
+from repro.logstore.fragmentation import round_robin_plan
+from repro.logstore.records import LogRecord
+from repro.logstore.schema import Attribute, AttributeKind, GlobalSchema
+from repro.workloads import WorkloadGenerator, paper_table1_rows
+
+
+def schema_with_undefined(defined: int, undefined: int) -> GlobalSchema:
+    attrs = [Attribute(f"a{i}", AttributeKind.INTEGER) for i in range(defined)]
+    attrs += [Attribute(f"C{i + 1}", AttributeKind.UNDEFINED) for i in range(undefined)]
+    return GlobalSchema(attrs)
+
+
+class TestStoreConfidentiality:
+    def test_bench_store_metric(self, benchmark, schema, plan):
+        record = LogRecord(1, paper_table1_rows()[0])
+        result = benchmark(store_confidentiality, record, schema, plan)
+        assert result.value == pytest.approx(12 / 7)
+
+    def test_sweep_undefined_fraction(self, benchmark):
+        """eq. 10: more undefined attributes => higher C_store."""
+
+        def sweep():
+            table = []
+            for undefined in (0, 2, 4, 6, 8):
+                sch = schema_with_undefined(8 - undefined, undefined)
+                pl = round_robin_plan(sch, ["P0", "P1", "P2", "P3"])
+                values = {name: 1 for name in sch.names}
+                sc = store_confidentiality(LogRecord(1, values), sch, pl)
+                table.append((f"{undefined}/8", sc.w, sc.v, sc.u, f"{sc.value:.3f}"))
+            return table
+
+        table = benchmark(sweep)
+        print_rows(
+            "E10: C_store vs undefined-attribute fraction (v/w)",
+            ["v/w", "w", "v", "u", "C_store"],
+            table,
+        )
+        scores = [float(row[4]) for row in table]
+        assert scores == sorted(scores)
+        assert scores[0] == 0.0
+
+    def test_sweep_cluster_size(self, benchmark):
+        """eq. 10: wider fragmentation (bigger u) => higher C_store."""
+        sch = schema_with_undefined(4, 4)
+        values = {name: 1 for name in sch.names}
+
+        def sweep():
+            table = []
+            for nodes in (1, 2, 4, 8):
+                pl = round_robin_plan(sch, [f"P{i}" for i in range(nodes)])
+                sc = store_confidentiality(LogRecord(1, values), sch, pl)
+                table.append((nodes, sc.u, f"{sc.value:.3f}"))
+            return table
+
+        table = benchmark(sweep)
+        print_rows("E10: C_store vs cluster size", ["nodes", "u", "C_store"], table)
+        scores = [float(row[2]) for row in table]
+        assert scores == sorted(scores)
+
+
+class TestAuditingConfidentiality:
+    def test_sweep_cross_fraction(self, benchmark, schema, plan):
+        """eq. 11: all-local single-pred = 1/2; all-cross = 1."""
+        criteria = [
+            ("0/1 cross", "C1 > 5"),
+            ("0/2 cross", "C1 > 5 and protocl = 'UDP'"),
+            ("1/2 cross", "C1 < C2 and protocl = 'UDP'"),
+            ("1/1 cross", "C1 < C2"),
+            ("2/2 cross", "C1 < C2 and Tid = id"),
+        ]
+
+        def sweep():
+            return [
+                (label, f"{auditing_confidentiality(text, schema, plan):.3f}")
+                for label, text in criteria
+            ]
+
+        table = benchmark(sweep)
+        print_rows("E11: C_auditing vs cross fraction", ["mix", "C_auditing"], table)
+        scores = [float(v) for _, v in table]
+        assert scores[0] == 0.5
+        assert scores[-1] == 1.0
+        assert scores == sorted(scores)
+
+
+class TestComposedMetrics:
+    def test_bench_query_confidentiality(self, benchmark, schema, plan):
+        record = LogRecord(1, paper_table1_rows()[0])
+        value = benchmark(
+            query_confidentiality, "C1 < C2", record, schema, plan
+        )
+        assert value == pytest.approx(1.0 * 12 / 7)
+
+    def test_bench_dla_over_generated_workload(self, benchmark, schema, plan):
+        """eq. 13 over a generated 30-query workload on Table-1-shaped logs."""
+        generator = WorkloadGenerator(seed=17)
+        records = [
+            LogRecord(i, row) for i, row in enumerate(paper_table1_rows())
+        ]
+        criteria = []
+        for _ in range(30):
+            criteria.append(
+                generator.criterion_mix(schema, plan, clauses=2, cross_fraction=0.5)
+            )
+        workload = [
+            (criterion, records[i % len(records)])
+            for i, criterion in enumerate(criteria)
+        ]
+        value = benchmark(dla_confidentiality, workload, schema, plan)
+        print(f"\nE13: C_DLA over 30 generated queries = {value:.4f}")
+        assert value > 0.0

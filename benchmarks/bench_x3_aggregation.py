@@ -1,0 +1,136 @@
+"""Experiment X3: secure aggregation primitives (§3.4-§3.5).
+
+Measures secure union, secure sum (plain/weighted/thresholded) and the
+end-to-end confidential aggregates of the audit executor ("number of
+transactions, total of volumes" — the paper's §1 examples).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.audit.executor import QueryExecutor
+from repro.crypto import DeterministicRng
+from repro.net.simnet import SimNetwork
+from repro.smc.base import SmcContext
+from repro.smc.sum_ import secure_sum, secure_weighted_sum
+from repro.smc.union_ import secure_set_union
+
+
+class TestSecureUnion:
+    @pytest.mark.parametrize("parties", [2, 4, 8])
+    def test_bench_union_vs_parties(self, benchmark, prime64, parties):
+        sets = {
+            f"P{i}": list(range(i * 8, i * 8 + 12)) for i in range(parties)
+        }
+
+        def run():
+            ctx = SmcContext(prime64, DeterministicRng(b"x3a"))
+            return secure_set_union(ctx, sets)
+
+        result = benchmark(run)
+        expected = sorted(set().union(*(set(s) for s in sets.values())))
+        assert result.any_value == expected
+
+
+class TestSecureSum:
+    @pytest.mark.parametrize("parties", [2, 8, 32])
+    def test_bench_sum_vs_parties(self, benchmark, prime64, parties):
+        values = {f"P{i}": i * 11 for i in range(parties)}
+
+        def run():
+            ctx = SmcContext(prime64, DeterministicRng(b"x3b"))
+            return secure_sum(ctx, values)
+
+        result = benchmark(run)
+        assert result.any_value == sum(values.values())
+
+    def test_bench_weighted_sum(self, benchmark, prime64):
+        values = {f"P{i}": i + 1 for i in range(8)}
+        weights = {f"P{i}": 10**i % 97 for i in range(8)}
+
+        def run():
+            ctx = SmcContext(prime64, DeterministicRng(b"x3c"))
+            return secure_weighted_sum(ctx, values, weights)
+
+        result = benchmark(run)
+        assert result.any_value == sum(values[p] * weights[p] for p in values)
+
+    def test_sum_traffic_quadratic_report(self, benchmark, prime64):
+        """Share dealing is all-to-all: messages grow as n(n-1) + n·(n-1)."""
+
+        def sweep():
+            table = []
+            for parties in (2, 4, 8, 16):
+                ctx = SmcContext(prime64, DeterministicRng(b"x3d"))
+                net = SimNetwork()
+                values = {f"P{i}": i for i in range(parties)}
+                secure_sum(ctx, values, net=net)
+                table.append((parties, net.stats.messages, net.stats.bytes))
+            return table
+
+        table = benchmark(sweep)
+        print_rows(
+            "X3: secure sum traffic vs parties",
+            ["parties", "messages", "bytes"],
+            table,
+        )
+        assert all(
+            messages == 2 * parties * (parties - 1)
+            for parties, messages, _ in table
+        )
+
+    def test_bench_threshold_k_effect(self, benchmark, prime64):
+        """Lower k = fewer F-shares needed; traffic unchanged, so this is a
+        robustness knob, not a cost knob (asserted)."""
+
+        def run():
+            out = []
+            for k in (2, 8):
+                ctx = SmcContext(prime64, DeterministicRng(b"x3e"))
+                net = SimNetwork()
+                values = {f"P{i}": i for i in range(8)}
+                secure_sum(ctx, values, k=k, net=net)
+                out.append((k, net.stats.messages))
+            return out
+
+        table = benchmark(run)
+        assert table[0][1] == table[1][1]
+
+
+class TestExecutorAggregates:
+    """The paper's §1 examples over the loaded store."""
+
+    @pytest.fixture()
+    def executor(self, schema, loaded_store, prime64):
+        store, _ = loaded_store
+        return QueryExecutor(
+            store, SmcContext(prime64, DeterministicRng(b"x3f")), schema
+        )
+
+    def test_bench_transaction_count(self, benchmark, executor):
+        result = benchmark(
+            executor.aggregate, "count", "Tid", "C3 = 'order'"
+        )
+        assert result.value > 0
+
+    def test_bench_total_volume(self, benchmark, executor):
+        result = benchmark(executor.aggregate, "sum", "C1")
+        assert result.value > 0
+
+    def test_bench_max_amount(self, benchmark, executor):
+        result = benchmark(executor.aggregate, "max", "C2")
+        assert result.value is not None
+
+    def test_aggregate_report(self, benchmark, executor):
+        def collect():
+            return [
+                ("count of orders", executor.aggregate("count", "Tid", "C3 = 'order'").value),
+                ("total volume (C1)", executor.aggregate("sum", "C1").value),
+                ("max amount (C2)", executor.aggregate("max", "C2").value),
+                ("min amount (C2)", executor.aggregate("min", "C2").value),
+            ]
+
+        table = benchmark(collect)
+        print_rows("X3: confidential aggregates (§1 examples)", ["statistic", "value"], table)
+        values = dict(table)
+        assert values["max amount (C2)"] >= values["min amount (C2)"]

@@ -1,0 +1,78 @@
+"""Experiment X6: store snapshot/restore throughput and recovery audit.
+
+Operational requirement for a real DLA node: state survives restarts, and
+the first thing a restarted cluster does is re-verify its integrity
+anchors.  Measures snapshot/restore cost vs record count and asserts the
+recovery audit passes (and still catches pre-snapshot tampering).
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import print_rows
+from repro.crypto import (
+    AccumulatorParams,
+    DeterministicRng,
+    Operation,
+    TicketAuthority,
+)
+from repro.logstore import DistributedLogStore, IntegrityChecker
+from repro.logstore.persistence import restore_store, snapshot_store
+from repro.workloads import EcommerceWorkload
+
+
+def build(plan, records: int, seed: bytes):
+    authority = TicketAuthority(b"x6-bench-master-secret-32bytes!!")
+    store = DistributedLogStore(
+        plan, authority, AccumulatorParams.generate(128, DeterministicRng(seed))
+    )
+    ticket = authority.issue("U1", {Operation.READ, Operation.WRITE})
+    store.append_record(EcommerceWorkload(seed=3).flat_rows(records // 2), ticket)
+    return store, authority
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("records", [20, 100])
+    def test_bench_snapshot(self, benchmark, plan, records):
+        store, _ = build(plan, records, f"x6s{records}".encode())
+        snapshot = benchmark(snapshot_store, store)
+        assert len(snapshot["nodes"]) == len(plan.node_ids)
+
+    @pytest.mark.parametrize("records", [20, 100])
+    def test_bench_restore(self, benchmark, plan, records):
+        store, authority = build(plan, records, f"x6r{records}".encode())
+        snapshot = snapshot_store(store)
+        restored = benchmark(restore_store, snapshot, authority)
+        assert restored.glsns == store.glsns
+
+    def test_bench_recovery_audit(self, benchmark, plan):
+        store, authority = build(plan, 100, b"x6a")
+        restored = restore_store(snapshot_store(store), authority)
+
+        def audit():
+            return IntegrityChecker(restored).check_all()
+
+        reports = benchmark(audit)
+        assert all(r.ok for r in reports)
+
+    def test_size_report(self, benchmark, plan):
+        def sweep():
+            table = []
+            for records in (20, 100, 200):
+                store, _ = build(plan, records, f"x6z{records}".encode())
+                blob = json.dumps(snapshot_store(store))
+                table.append(
+                    (records, len(blob), len(blob) // max(records, 1))
+                )
+            return table
+
+        table = benchmark(sweep)
+        print_rows(
+            "X6: snapshot size vs record count",
+            ["records", "snapshot bytes", "bytes/record"],
+            table,
+        )
+        # Linear growth: bytes/record roughly constant.
+        per_record = [row[2] for row in table]
+        assert max(per_record) < 2 * min(per_record)

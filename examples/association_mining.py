@@ -1,0 +1,71 @@
+"""Confidential distributed data mining over the DLA cluster.
+
+The paper's abstract promises "distributed data mining" as one of the
+demonstrations.  Here two DLA nodes — one storing the transport protocol
+(P3), one storing the opaque business label C3 (P2) — jointly discover
+which protocol⇒label associations hold across the log, revealing only
+the patterns above the support threshold.  Neither node ever sees the
+other's column; the overlap counting runs on the commutative-encryption
+intersection-size protocol (the paper's ref [20] toolbox).
+
+Run:  python examples/association_mining.py
+"""
+
+from repro import ApplicationNode, ConfidentialAuditingService
+from repro.crypto import DeterministicRng
+from repro.logstore import paper_fragment_plan, paper_table1_schema
+from repro.mining import secure_intersection_size
+from repro.net.simnet import SimNetwork
+from repro.smc.base import SmcContext
+
+
+def main() -> None:
+    schema = paper_table1_schema()
+    service = ConfidentialAuditingService(
+        schema, paper_fragment_plan(schema), prime_bits=128,
+        rng=DeterministicRng(b"mining-example"),
+    )
+    writer = ApplicationNode.register("U1", service)
+
+    rng = DeterministicRng(b"mining-data")
+    labels = {"UDP": "telemetry", "TCP": "payment"}
+    rows = 0
+    for _ in range(60):
+        protocol = rng.choice(["UDP", "TCP"])
+        # 85% of records follow the association; 15% are noise.
+        if rng.random() < 0.85:
+            label = labels[protocol]
+        else:
+            label = rng.choice(["telemetry", "payment", "probe"])
+        writer.log_values({"protocl": protocol, "C3": label,
+                           "C1": rng.randint(1, 99)})
+        rows += 1
+    print(f"{rows} records logged; protocol lives on P3, label C3 on P2 — "
+          "no node holds both columns")
+
+    print("\n--- the primitive: secure intersection size ---")
+    ctx = SmcContext(service.ctx.prime, DeterministicRng(b"size-demo"))
+    net = SimNetwork()
+    result = secure_intersection_size(
+        ctx, ("P3", list(range(0, 30))), ("P2", list(range(20, 50))), net=net
+    )
+    print(f"  |A ∩ B| = {result.any_value} learned in {net.stats.messages} "
+          "messages; neither side learns WHICH elements overlap")
+
+    print("\n--- mining: which protocol ⇒ label rules hold? (support ≥ 8) ---")
+    rules = service.mine_associations("protocl", "C3", min_support=8,
+                                      min_confidence=0.5)
+    for rule in rules:
+        print(f"  {rule}")
+    planted = {(r.value_a, r.value_b) for r in rules}
+    assert ("UDP", "telemetry") in planted and ("TCP", "payment") in planted
+    print("  (the planted associations surface; sub-threshold pairs like "
+          "'probe' labels stay sealed)")
+
+    print("\n--- leakage accounting ---")
+    categories = sorted(service.ctx.leakage.categories())
+    print(f"  secondary disclosures only: {categories}")
+
+
+if __name__ == "__main__":
+    main()

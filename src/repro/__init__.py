@@ -1,0 +1,54 @@
+"""repro — Confidential Distributed Logging and Auditing (DLA).
+
+A from-scratch reproduction of Shen, Liu & Zhao, *On the Confidential
+Auditing of Distributed Computing Systems* (ICDCS 2004): a TTP-cluster
+logging/auditing service in which no single node holds a complete log
+record, auditing queries evaluate through relaxed secure multiparty
+computation, and cluster membership is anonymous-yet-accountable through
+an e-coin evidence chain.
+
+Quickstart::
+
+    from repro import ConfidentialAuditingService, ApplicationNode, Auditor
+    from repro.logstore import paper_table1_schema, paper_fragment_plan
+
+    schema = paper_table1_schema()
+    service = ConfidentialAuditingService(schema, paper_fragment_plan(schema))
+    node = ApplicationNode.register("U1", service)
+    node.log_values({"Tid": "T1", "C1": 42, "protocl": "UDP"})
+    auditor = Auditor("aud", service)
+    report = auditor.audited_query("C1 > 30 and protocl = 'UDP'")
+
+Subpackages: :mod:`repro.crypto` (commutative cipher, secret sharing,
+accumulators, blind/threshold signatures, tickets), :mod:`repro.net`
+(simulated + TCP transports), :mod:`repro.smc` (relaxed-SMC primitives),
+:mod:`repro.logstore` (fragmentation, ACLs, integrity), :mod:`repro.audit`
+(query language + confidentiality metrics), :mod:`repro.cluster`
+(evidence-chain membership, agreement), :mod:`repro.core` (the service
+facade), :mod:`repro.baseline` (centralized + GMW comparators),
+:mod:`repro.workloads` (synthetic scenarios).
+"""
+
+from repro._version import __version__
+from repro.core import (
+    ApplicationNode,
+    AuditReport,
+    Auditor,
+    AtomicEvent,
+    ConfidentialAuditingService,
+    Transaction,
+    TransactionType,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfidentialAuditingService",
+    "AuditReport",
+    "ApplicationNode",
+    "Auditor",
+    "AtomicEvent",
+    "Transaction",
+    "TransactionType",
+]

@@ -1,0 +1,79 @@
+"""Confidential auditing query engine (paper §2, §5; Figure 3).
+
+From criterion text to a distributed, privacy-preserving evaluation:
+
+1. :func:`~repro.audit.parser.parse_criterion` — lex/parse to an AST;
+2. :func:`~repro.audit.normalize.to_conjunctive_form` — Q → Q_N;
+3. :func:`~repro.audit.classify.classify` — local/cross placement;
+4. :func:`~repro.audit.planner.plan_query` — strategy per predicate;
+5. :class:`~repro.audit.executor.QueryExecutor` — distributed evaluation
+   over the relaxed-SMC primitives, final conjunction by secure set
+   intersection keyed by glsn;
+6. :mod:`~repro.audit.confidentiality` — §5's C_store / C_auditing /
+   C_query / C_DLA metrics.
+"""
+
+from repro.audit.ast_nodes import (
+    And,
+    AttributeRef,
+    Constant,
+    Node,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.audit.classify import (
+    ClassifiedPredicate,
+    ClassifiedSubquery,
+    PredicateScope,
+    classify,
+    cross_predicate_count,
+)
+from repro.audit.confidentiality import (
+    StoreConfidentiality,
+    auditing_confidentiality,
+    dla_confidentiality,
+    query_confidentiality,
+    store_confidentiality,
+)
+from repro.audit.executor import AggregateResult, QueryExecutor, QueryResult
+from repro.audit.lexer import Token, tokenize
+from repro.audit.normalize import (
+    ConjunctiveForm,
+    push_negations,
+    to_conjunctive_form,
+)
+from repro.audit.parser import parse_criterion
+from repro.audit.planner import PredicateStrategy, QueryPlan, plan_query
+
+__all__ = [
+    "And",
+    "Or",
+    "Not",
+    "Predicate",
+    "AttributeRef",
+    "Constant",
+    "Node",
+    "Token",
+    "tokenize",
+    "parse_criterion",
+    "push_negations",
+    "to_conjunctive_form",
+    "ConjunctiveForm",
+    "classify",
+    "cross_predicate_count",
+    "PredicateScope",
+    "ClassifiedPredicate",
+    "ClassifiedSubquery",
+    "plan_query",
+    "QueryPlan",
+    "PredicateStrategy",
+    "QueryExecutor",
+    "QueryResult",
+    "AggregateResult",
+    "store_confidentiality",
+    "StoreConfidentiality",
+    "auditing_confidentiality",
+    "query_confidentiality",
+    "dla_confidentiality",
+]

@@ -1,0 +1,536 @@
+"""Distributed confidential query execution (paper §2 Figure 3, §4.2).
+
+Evaluation strategy per plan element:
+
+* **local predicate** — the owning DLA node scans its fragment store and
+  produces the satisfying glsn set (pure local work, no disclosure);
+* **cross equality** ``A = B`` — the two owner nodes build composite
+  elements ``glsn|value`` and run the commutative-cipher secure set
+  intersection; the surviving glsns satisfy the join.  ``A != B`` is the
+  presence-intersection minus the equality matches;
+* **cross order** ``A < B`` etc. — per common glsn, one blind-TTP secure
+  comparison (§3.3's two-party case);
+* **clause disjunction** — per-clause glsn sets are merged with the secure
+  set union when they live on different nodes;
+* **final conjunction** — the paper's rule: "the conjunction of SQ_i is
+  processed by a secure set intersection with glsn as the set element".
+
+All SMC runs share one :class:`~repro.smc.base.SmcContext`, so cost and
+leakage accounting cover the entire query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audit.ast_nodes import AttributeRef, Constant, Predicate
+from repro.audit.planner import QueryPlan, plan_query
+from repro.errors import AuditError, PlanningError
+from repro.logstore.fragmentation import FragmentPlan
+from repro.logstore.schema import GlobalSchema
+from repro.logstore.store import DistributedLogStore
+from repro.net.simnet import SimNetwork
+from repro.smc.base import SmcContext
+from repro.smc.comparison import (
+    evaluate_operator,
+    secure_compare,
+    secure_compare_batch,
+)
+from repro.smc.intersection import secure_set_intersection
+from repro.smc.ranking import secure_ranking
+from repro.smc.sum_ import secure_sum
+from repro.smc.union_ import secure_set_union
+
+__all__ = ["QueryResult", "AggregateResult", "QueryExecutor"]
+
+_NUMERIC_SCALE = 100  # fixed-point scale for decimal attribute comparison
+
+
+def _comparable_pair(left, right):
+    """Coerce a value pair for comparison; numbers numerically, else str."""
+    try:
+        return float(left), float(right)
+    except (TypeError, ValueError):
+        return str(left), str(right)
+
+
+def _apply_op(op: str, left, right) -> bool:
+    l, r = _comparable_pair(left, right)
+    table = {
+        "<": l < r,
+        ">": l > r,
+        "=": l == r,
+        "!=": l != r,
+        "<=": l <= r,
+        ">=": l >= r,
+    }
+    return table[op]
+
+
+def _scaled_int(value) -> int:
+    """Fixed-point integer encoding for blind-TTP order comparison."""
+    number = float(value)
+    scaled = round(number * _NUMERIC_SCALE)
+    if scaled < 0:
+        raise AuditError(
+            f"ordered cross comparison requires non-negative values, got {value}"
+        )
+    return scaled
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one confidential auditing query."""
+
+    plan: QueryPlan
+    glsns: list[int]
+    subquery_glsns: dict[str, list[int]] = field(default_factory=dict)
+    messages: int = 0
+    bytes: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.glsns)
+
+
+@dataclass
+class AggregateResult:
+    """Outcome of a confidential aggregate (Σ / max / min / count)."""
+
+    op: str
+    attribute: str
+    value: object
+    matched: int
+    holder: str | None = None  # argmax/argmin owner for max/min
+
+
+class QueryExecutor:
+    """Evaluates auditing criteria against a fragmented log store."""
+
+    def __init__(
+        self,
+        store: DistributedLogStore,
+        ctx: SmcContext,
+        schema: GlobalSchema,
+        value_bound: int = 2**40,
+        batch_compare: bool = True,
+    ) -> None:
+        self.store = store
+        self.ctx = ctx
+        self.schema = schema
+        self.plan: FragmentPlan = store.plan
+        self.value_bound = value_bound
+        # Batched blind-TTP comparison sends all per-glsn value pairs in
+        # one round trip; per-glsn mode (batch_compare=False) exists for
+        # the A2 ablation and costs 4 messages per common glsn.
+        self.batch_compare = batch_compare
+        # Early exit evaluates local (SMC-free) clauses first and stops as
+        # soon as any clause yields no glsns — the conjunction is then
+        # empty and the remaining cross-predicate SMC runs are skipped.
+        self.early_exit = True
+        self._session = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, criterion: str | QueryPlan, net: SimNetwork | None = None) -> QueryResult:
+        """Evaluate an auditing criterion; returns the glsn-keyed result."""
+        qplan = (
+            criterion
+            if isinstance(criterion, QueryPlan)
+            else plan_query(criterion, self.schema, self.plan)
+        )
+        net = net or SimNetwork()
+        start_msgs, start_bytes = net.stats.messages, net.stats.bytes
+
+        ordered_subqueries = list(qplan.subqueries)
+        if self.early_exit:
+            # Local clauses are free; evaluate them first so an empty one
+            # short-circuits before any cross-predicate SMC runs.
+            ordered_subqueries.sort(key=lambda sq: sq.is_cross)
+
+        clause_sets: dict[str, set[int]] = {}  # anchor node -> glsns
+        subquery_glsns: dict[str, list[int]] = {}
+        for sq in ordered_subqueries:
+            per_node: dict[str, set[int]] = {}
+            for cp in sq.predicates:
+                node, glsns = self._evaluate_predicate(cp.predicate, qplan, net)
+                per_node.setdefault(node, set()).update(glsns)
+            clause_glsns = self._merge_union(per_node, net)
+            anchor = min(per_node) if per_node else min(sq.nodes)
+            subquery_glsns[sq.label] = sorted(clause_glsns)
+            if anchor in clause_sets:
+                # Same anchor already holds another clause: conjoin locally.
+                clause_sets[anchor] &= clause_glsns
+            else:
+                clause_sets[anchor] = set(clause_glsns)
+            if self.early_exit and not clause_glsns:
+                # One empty clause empties the conjunction: stop here.
+                return QueryResult(
+                    plan=qplan,
+                    glsns=[],
+                    subquery_glsns=subquery_glsns,
+                    messages=net.stats.messages - start_msgs,
+                    bytes=net.stats.bytes - start_bytes,
+                )
+
+        final = self._merge_intersection(clause_sets, net)
+        return QueryResult(
+            plan=qplan,
+            glsns=sorted(final),
+            subquery_glsns=subquery_glsns,
+            messages=net.stats.messages - start_msgs,
+            bytes=net.stats.bytes - start_bytes,
+        )
+
+    def aggregate(
+        self,
+        op: str,
+        attribute: str,
+        criterion: str | None = None,
+        net: SimNetwork | None = None,
+    ) -> AggregateResult:
+        """Confidential aggregate over ``attribute`` of matching records.
+
+        ``op`` is one of ``sum``, ``count``, ``max``, ``min``.  Partial
+        aggregates are computed by the attribute's owner node(s) and
+        combined with the secure sum / secure ranking primitives, so with
+        replicated (overlapping) plans no owner learns another's partial.
+        """
+        if op not in ("sum", "count", "max", "min"):
+            raise AuditError(f"unknown aggregate op {op!r}")
+        net = net or SimNetwork()
+        if criterion is not None:
+            matching: set[int] | None = set(self.execute(criterion, net=net).glsns)
+        else:
+            matching = None
+
+        owners = self.plan.owners_of(attribute)
+        partials: dict[str, list] = {}
+        for owner in owners:
+            store = self.store.node_store(owner)
+            values = []
+            for frag in store.scan():
+                if matching is not None and frag.glsn not in matching:
+                    continue
+                if attribute in frag.values:
+                    values.append(frag.values[attribute])
+            partials[owner] = values
+
+        matched = sum(len(v) for v in partials.values())
+        if op == "count":
+            counts = {owner: len(vals) for owner, vals in partials.items()}
+            if len(counts) == 1:
+                total = next(iter(counts.values()))
+            else:
+                # Replicated owners would double-count shared glsns under a
+                # plain secure sum; the secure union of presence sets yields
+                # the distinct cardinality without revealing who holds what.
+                presence = {
+                    owner: sorted(self._present_glsns(owner, attribute, matching))
+                    for owner in owners
+                }
+                total = len(secure_set_union(self.ctx, presence, net=net).any_value)
+            return AggregateResult(op=op, attribute=attribute, value=total, matched=matched)
+
+        if op == "sum":
+            scaled = {
+                owner: sum(_scaled_int(v) for v in vals)
+                for owner, vals in partials.items()
+            }
+            if len(scaled) == 1:
+                total_scaled = next(iter(scaled.values()))
+            else:
+                total_scaled = secure_sum(self.ctx, scaled, net=net).any_value
+            value: object = total_scaled / _NUMERIC_SCALE
+            if all(isinstance(v, int) for vals in partials.values() for v in vals):
+                value = total_scaled // _NUMERIC_SCALE
+            return AggregateResult(op=op, attribute=attribute, value=value, matched=matched)
+
+        # max / min: find the holder via secure ranking, then only the
+        # holder reveals its partial extreme (that value IS the result).
+        extremes = {}
+        for owner, vals in partials.items():
+            if vals:
+                fn = max if op == "max" else min
+                extremes[owner] = fn(_scaled_int(v) for v in vals)
+        if not extremes:
+            return AggregateResult(op=op, attribute=attribute, value=None, matched=0)
+        if len(extremes) == 1:
+            holder, scaled_value = next(iter(extremes.items()))
+        else:
+            self._session += 1
+            ranking = secure_ranking(
+                self.ctx,
+                extremes,
+                value_bound=self.value_bound,
+                net=net,
+                group_label=f"agg-{self._session}",
+            )
+            key = "argmax" if op == "max" else "argmin"
+            holder = ranking.any_value[key]
+            scaled_value = extremes[holder]
+        raw = scaled_value / _NUMERIC_SCALE
+        if all(isinstance(v, int) for vals in partials.values() for v in vals):
+            raw = scaled_value // _NUMERIC_SCALE
+        return AggregateResult(
+            op=op, attribute=attribute, value=raw, matched=matched, holder=holder
+        )
+
+    def aggregate_grouped(
+        self,
+        op: str,
+        measure: str,
+        group_by: str,
+        criterion: str | None = None,
+        min_group_size: int = 1,
+        net: SimNetwork | None = None,
+    ) -> dict[object, AggregateResult]:
+        """Confidential GROUP BY: per-group aggregates across two nodes.
+
+        ``group_by`` values live on one node, ``measure`` values on
+        another (or the same).  The group owner exposes, per group, only
+        the member glsn set under a *blinded label*; the measure owner
+        computes the per-label aggregate; labels are unblinded only for
+        groups with at least ``min_group_size`` members — small groups
+        (which could identify individuals, cf. ref [7]'s library patrons)
+        are suppressed entirely.
+
+        Returns ``group value -> AggregateResult`` for qualifying groups.
+        """
+        if op not in ("sum", "count", "max", "min"):
+            raise AuditError(f"unknown aggregate op {op!r}")
+        if min_group_size < 1:
+            raise AuditError("min_group_size must be at least 1")
+        net = net or SimNetwork()
+        matching: set[int] | None = None
+        if criterion is not None:
+            matching = set(self.execute(criterion, net=net).glsns)
+
+        group_node = self.plan.home_of(group_by)
+        group_store = self.store.node_store(group_node)
+        groups: dict[object, list[int]] = {}
+        for frag in group_store.scan():
+            if group_by not in frag.values:
+                continue
+            if matching is not None and frag.glsn not in matching:
+                continue
+            groups.setdefault(frag.values[group_by], []).append(frag.glsn)
+
+        measure_node = self.plan.home_of(measure)
+        cross_node = measure_node != group_node
+        if cross_node:
+            self.ctx.leakage.record(
+                "aggregate_grouped",
+                measure_node,
+                "group_membership",
+                f"measure owner sees {len(groups)} blinded-label glsn groups",
+            )
+        measure_store = self.store.node_store(measure_node)
+
+        out: dict[object, AggregateResult] = {}
+        for value, glsns in sorted(groups.items(), key=lambda kv: repr(kv[0])):
+            if len(glsns) < min_group_size:
+                continue  # suppressed: the label is never unblinded
+            members = set(glsns)
+            samples = [
+                frag.values[measure]
+                for frag in measure_store.scan(
+                    lambda f, members=members: f.glsn in members
+                )
+                if measure in frag.values
+            ]
+            if op == "count":
+                result: object = len(samples)
+            elif not samples:
+                result = None
+            elif op == "sum":
+                scaled = sum(_scaled_int(v) for v in samples)
+                result = (
+                    scaled // _NUMERIC_SCALE
+                    if all(isinstance(v, int) for v in samples)
+                    else scaled / _NUMERIC_SCALE
+                )
+            else:
+                fn = max if op == "max" else min
+                scaled = fn(_scaled_int(v) for v in samples)
+                result = (
+                    scaled // _NUMERIC_SCALE
+                    if all(isinstance(v, int) for v in samples)
+                    else scaled / _NUMERIC_SCALE
+                )
+            out[value] = AggregateResult(
+                op=op, attribute=measure, value=result, matched=len(samples)
+            )
+        return out
+
+    # -- predicate evaluation ---------------------------------------------------
+
+    def _evaluate_predicate(
+        self, pred: Predicate, qplan: QueryPlan, net: SimNetwork
+    ) -> tuple[str, set[int]]:
+        """Returns ``(holder_node, satisfying glsns)``."""
+        strategy = qplan.strategies[str(pred)]
+        if strategy.primitive == "scan":
+            node = strategy.nodes[0]
+            return node, self._local_scan(node, pred)
+        if strategy.primitive == "ssi":
+            return self._cross_equality(pred, strategy.nodes, net)
+        if strategy.primitive == "scmp":
+            return self._cross_order(pred, strategy.nodes, net)
+        raise PlanningError(f"unknown strategy {strategy.primitive!r}")
+
+    def _local_scan(self, node_id: str, pred: Predicate) -> set[int]:
+        store = self.store.node_store(node_id)
+        left = pred.left.name
+        out: set[int] = set()
+        for frag in store.scan():
+            if left not in frag.values:
+                continue
+            left_value = frag.values[left]
+            if isinstance(pred.right, Constant):
+                right_value = pred.right.value
+            else:
+                right_name = pred.right.name
+                if right_name not in frag.values:
+                    continue
+                right_value = frag.values[right_name]
+            if _apply_op(pred.op, left_value, right_value):
+                out.add(frag.glsn)
+        return out
+
+    def _present_glsns(
+        self, node_id: str, attribute: str, matching: set[int] | None = None
+    ) -> set[int]:
+        store = self.store.node_store(node_id)
+        out = {
+            frag.glsn
+            for frag in store.scan()
+            if attribute in frag.values
+        }
+        if matching is not None:
+            out &= matching
+        return out
+
+    def _cross_equality(
+        self, pred: Predicate, nodes: tuple[str, ...], net: SimNetwork
+    ) -> tuple[str, set[int]]:
+        left_node, right_node = nodes[0], nodes[1]
+        right_attr: AttributeRef = pred.right  # type: ignore[assignment]
+        left_pairs = self._composite_set(left_node, pred.left.name)
+        right_pairs = self._composite_set(right_node, right_attr.name)
+        result = secure_set_intersection(
+            self.ctx,
+            {left_node: sorted(left_pairs), right_node: sorted(right_pairs)},
+            net=net,
+        )
+        eq_glsns = {int(composite.split("|", 1)[0]) for composite in result.any_value}
+        if pred.op == "=":
+            return left_node, eq_glsns
+        # "!=": common presence minus equality matches.
+        presence = secure_set_intersection(
+            self.ctx,
+            {
+                left_node: sorted(self._present_glsns(left_node, pred.left.name)),
+                right_node: sorted(self._present_glsns(right_node, right_attr.name)),
+            },
+            net=net,
+        )
+        return left_node, set(presence.any_value) - eq_glsns
+
+    def _composite_set(self, node_id: str, attribute: str) -> set[str]:
+        """``glsn|value`` composites — the secure equality-join elements."""
+        store = self.store.node_store(node_id)
+        return {
+            f"{frag.glsn}|{frag.values[attribute]}"
+            for frag in store.scan()
+            if attribute in frag.values
+        }
+
+    def _cross_order(
+        self, pred: Predicate, nodes: tuple[str, ...], net: SimNetwork
+    ) -> tuple[str, set[int]]:
+        left_node, right_node = nodes[0], nodes[1]
+        right_attr: AttributeRef = pred.right  # type: ignore[assignment]
+        common = secure_set_intersection(
+            self.ctx,
+            {
+                left_node: sorted(self._present_glsns(left_node, pred.left.name)),
+                right_node: sorted(self._present_glsns(right_node, right_attr.name)),
+            },
+            net=net,
+        ).any_value
+        left_store = self.store.node_store(left_node)
+        right_store = self.store.node_store(right_node)
+        ordered = sorted(common)
+        left_values = [
+            _scaled_int(left_store.local_fragment(g).values[pred.left.name])
+            for g in ordered
+        ]
+        right_values = [
+            _scaled_int(right_store.local_fragment(g).values[right_attr.name])
+            for g in ordered
+        ]
+        out: set[int] = set()
+        if self.batch_compare:
+            self._session += 1
+            verdicts = secure_compare_batch(
+                self.ctx,
+                (left_node, left_values),
+                (right_node, right_values),
+                value_bound=self.value_bound,
+                net=net,
+                session=f"qb-{self._session}",
+            ).any_value
+            for glsn, verdict in zip(ordered, verdicts):
+                if evaluate_operator(pred.op, verdict):
+                    out.add(glsn)
+            return left_node, out
+        for glsn, left_value, right_value in zip(ordered, left_values, right_values):
+            self._session += 1
+            verdict = secure_compare(
+                self.ctx,
+                (left_node, left_value),
+                (right_node, right_value),
+                value_bound=self.value_bound,
+                net=net,
+                session=f"q-{self._session}-{glsn}",
+            ).any_value
+            if evaluate_operator(pred.op, verdict):
+                out.add(glsn)
+        return left_node, out
+
+    # -- set merging ---------------------------------------------------------
+
+    def _merge_union(
+        self, per_node: dict[str, set[int]], net: SimNetwork
+    ) -> set[int]:
+        """Disjunction inside a clause: secure union across holder nodes."""
+        if not per_node:
+            return set()
+        if len(per_node) == 1:
+            return set(next(iter(per_node.values())))
+        result = secure_set_union(
+            self.ctx,
+            {node: sorted(glsns) for node, glsns in per_node.items()},
+            net=net,
+        )
+        return set(result.any_value)
+
+    def _merge_intersection(
+        self, clause_sets: dict[str, set[int]], net: SimNetwork
+    ) -> set[int]:
+        """Final conjunction: secure set intersection keyed by glsn."""
+        if not clause_sets:
+            return set()
+        if len(clause_sets) == 1:
+            return set(next(iter(clause_sets.values())))
+        if any(not glsns for glsns in clause_sets.values()):
+            # An empty clause forces an empty conjunction; running the ring
+            # with an empty set would only leak the other sets' sizes.
+            return set()
+        result = secure_set_intersection(
+            self.ctx,
+            {node: sorted(glsns) for node, glsns in clause_sets.items()},
+            net=net,
+        )
+        return set(result.any_value)

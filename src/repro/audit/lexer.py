@@ -1,0 +1,105 @@
+"""Tokenizer for the auditing-criteria language.
+
+Grammar tokens: attribute identifiers, integer/decimal/string constants,
+comparison operators (``< > = != <= >=``; ``==`` and ``<>`` accepted as
+aliases), logical connectives (``and or not`` case-insensitive, or the
+symbols ``& | !`` / ``∧ ∨ ¬``), and parentheses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+_KEYWORDS = {"and": "AND", "or": "OR", "not": "NOT"}
+_SYMBOL_CONNECTIVES = {"&": "AND", "∧": "AND", "|": "OR", "∨": "OR", "!": "NOT", "¬": "NOT"}
+# Two-character operators first so "<=" never lexes as "<", "=".
+_TWO_CHAR_OPS = {"<=": "<=", ">=": ">=", "!=": "!=", "==": "=", "<>": "!="}
+_ONE_CHAR_OPS = {"<": "<", ">": ">", "=": "="}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``type`` in {ATTR, CONST, OP, AND, OR, NOT, LP, RP}."""
+
+    type: str
+    value: object
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex an auditing criterion into tokens.
+
+    Raises
+    ------
+    QuerySyntaxError
+        On any unrecognizable character or unterminated string.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token("LP", "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token("RP", ")", i))
+            i += 1
+            continue
+        if text[i : i + 2] in _TWO_CHAR_OPS:
+            tokens.append(Token("OP", _TWO_CHAR_OPS[text[i : i + 2]], i))
+            i += 2
+            continue
+        if ch == "!" and text[i : i + 2] != "!=":
+            tokens.append(Token("NOT", "not", i))
+            i += 1
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("OP", _ONE_CHAR_OPS[ch], i))
+            i += 1
+            continue
+        if ch in _SYMBOL_CONNECTIVES:
+            tokens.append(Token(_SYMBOL_CONNECTIVES[ch], ch, i))
+            i += 1
+            continue
+        if ch in "'\"":
+            end = text.find(ch, i + 1)
+            if end < 0:
+                raise QuerySyntaxError(f"unterminated string starting at {i}")
+            tokens.append(Token("CONST", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            literal = text[i:j]
+            value: object = float(literal) if seen_dot else int(literal)
+            tokens.append(Token("CONST", value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(Token(_KEYWORDS[lowered], lowered, i))
+            else:
+                tokens.append(Token("ATTR", word, i))
+            i = j
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r} at position {i}")
+    return tokens

@@ -1,0 +1,127 @@
+"""Recursive-descent parser for auditing criteria.
+
+Grammar (standard precedence: ``not`` > ``and`` > ``or``)::
+
+    criterion := or_expr
+    or_expr   := and_expr ( OR and_expr )*
+    and_expr  := unary ( AND unary )*
+    unary     := NOT unary | primary
+    primary   := '(' criterion ')' | predicate
+    predicate := ATTR OP ( ATTR | CONST )
+
+``parse_criterion`` is the public entry; it returns the AST and validates
+every referenced attribute against an optional schema.
+"""
+
+from __future__ import annotations
+
+from repro.audit.ast_nodes import And, AttributeRef, Constant, Node, Not, Or, Predicate
+from repro.audit.lexer import Token, tokenize
+from repro.errors import QuerySyntaxError, UnknownAttributeError
+from repro.logstore.schema import GlobalSchema
+
+__all__ = ["parse_criterion"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], text: str) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.pos = 0
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: str | None = None) -> Token:
+        token = self.peek()
+        if token is None:
+            raise QuerySyntaxError(f"unexpected end of criterion: {self.text!r}")
+        if expected is not None and token.type != expected:
+            raise QuerySyntaxError(
+                f"expected {expected} at position {token.pos}, got "
+                f"{token.type} ({token.value!r})"
+            )
+        self.pos += 1
+        return token
+
+    def parse(self) -> Node:
+        node = self.or_expr()
+        leftover = self.peek()
+        if leftover is not None:
+            raise QuerySyntaxError(
+                f"trailing input at position {leftover.pos}: {leftover.value!r}"
+            )
+        return node
+
+    def or_expr(self) -> Node:
+        children = [self.and_expr()]
+        while (token := self.peek()) is not None and token.type == "OR":
+            self.take("OR")
+            children.append(self.and_expr())
+        return children[0] if len(children) == 1 else Or(children)
+
+    def and_expr(self) -> Node:
+        children = [self.unary()]
+        while (token := self.peek()) is not None and token.type == "AND":
+            self.take("AND")
+            children.append(self.unary())
+        return children[0] if len(children) == 1 else And(children)
+
+    def unary(self) -> Node:
+        token = self.peek()
+        if token is not None and token.type == "NOT":
+            self.take("NOT")
+            return Not(self.unary())
+        return self.primary()
+
+    def primary(self) -> Node:
+        token = self.peek()
+        if token is None:
+            raise QuerySyntaxError(f"unexpected end of criterion: {self.text!r}")
+        if token.type == "LP":
+            self.take("LP")
+            node = self.or_expr()
+            self.take("RP")
+            return node
+        return self.predicate()
+
+    def predicate(self) -> Predicate:
+        left = self.take("ATTR")
+        op = self.take("OP")
+        right = self.peek()
+        if right is None:
+            raise QuerySyntaxError("predicate missing right-hand side")
+        if right.type == "ATTR":
+            self.take("ATTR")
+            rhs: AttributeRef | Constant = AttributeRef(right.value)
+        elif right.type == "CONST":
+            self.take("CONST")
+            rhs = Constant(right.value)
+        else:
+            raise QuerySyntaxError(
+                f"predicate right-hand side must be attribute or constant "
+                f"at position {right.pos}"
+            )
+        return Predicate(AttributeRef(left.value), op.value, rhs)
+
+
+def parse_criterion(text: str, schema: GlobalSchema | None = None) -> Node:
+    """Parse an auditing criterion; optionally validate attribute names.
+
+    Examples
+    --------
+    >>> node = parse_criterion("C1 > 30 and protocl = 'UDP'")
+    >>> str(node)
+    "(C1 > 30 and protocl = 'UDP')"
+    """
+    tokens = tokenize(text)
+    if not tokens:
+        raise QuerySyntaxError("empty auditing criterion")
+    node = _Parser(tokens, text).parse()
+    if schema is not None:
+        unknown = sorted(node.attributes() - set(schema.names))
+        if unknown:
+            raise UnknownAttributeError(
+                f"criterion references unknown attributes: {unknown}"
+            )
+    return node

@@ -1,0 +1,148 @@
+"""Query planner: from a parsed criterion to an executable plan (Figure 3).
+
+The paper's processing recipe:
+
+1. normalize Q to conjunctive form (SQ_1 ∧ ... ∧ SQ_q);
+2. each SQ_i must be a local auditing predicate (one DLA node) or a global
+   one (a relaxed-SMC group);
+3. the conjunction of the SQ_i results is taken by secure set intersection
+   with glsn as the set element, and the final glsn-keyed result goes back
+   to the initiating user.
+
+The planner performs steps 1-2 and records the strategy each predicate will
+use; the :mod:`executor <repro.audit.executor>` performs the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audit.ast_nodes import Node
+from repro.audit.classify import (
+    ClassifiedSubquery,
+    classify,
+    cross_predicate_count,
+)
+from repro.audit.normalize import ConjunctiveForm, to_conjunctive_form
+from repro.audit.parser import parse_criterion
+from repro.errors import PlanningError
+from repro.logstore.fragmentation import FragmentPlan
+from repro.logstore.schema import GlobalSchema
+
+__all__ = ["PredicateStrategy", "QueryPlan", "plan_query"]
+
+
+@dataclass(frozen=True)
+class PredicateStrategy:
+    """How one predicate will be evaluated."""
+
+    description: str            # "local-scan", "cross-eq-intersection", ...
+    primitive: str              # "scan" | "ssi" | "scmp" | ...
+    nodes: tuple[str, ...]
+
+
+@dataclass
+class QueryPlan:
+    """The fully resolved plan for one auditing criterion."""
+
+    criterion_text: str
+    form: ConjunctiveForm
+    subqueries: list[ClassifiedSubquery]
+    strategies: dict[str, PredicateStrategy] = field(default_factory=dict)
+
+    @property
+    def q(self) -> int:
+        """Number of conjunctive clauses (§5's ``q``)."""
+        return len(self.subqueries)
+
+    @property
+    def s(self) -> int:
+        """Total atomic predicates (§5's ``s``)."""
+        return self.form.s
+
+    @property
+    def t(self) -> int:
+        """Total cross predicates (§5's ``t``)."""
+        return cross_predicate_count(self.subqueries)
+
+    @property
+    def needs_final_intersection(self) -> bool:
+        return self.q > 1
+
+    def describe(self) -> str:
+        """Figure-3-style rendering of the decomposition."""
+        lines = [f"Q: {self.criterion_text}", f"Q_N: {self.form}"]
+        for sq in self.subqueries:
+            kind = "cross" if sq.is_cross else "local"
+            nodes = ",".join(sq.nodes)
+            preds = " or ".join(str(p.predicate) for p in sq.predicates)
+            lines.append(f"  {sq.label} [{kind} @ {nodes}]: {preds}")
+        if self.needs_final_intersection:
+            labels = " ∩ ".join(sq.label for sq in self.subqueries)
+            lines.append(f"  final: secure set intersection on glsn: {labels}")
+        return "\n".join(lines)
+
+
+_ORDERED_OPS = ("<", ">", "<=", ">=")
+
+
+def plan_query(
+    criterion: str | Node,
+    schema: GlobalSchema,
+    plan: FragmentPlan,
+) -> QueryPlan:
+    """Build the execution plan for an auditing criterion.
+
+    Accepts either criterion text or an already-parsed AST.
+    """
+    if isinstance(criterion, str):
+        text = criterion
+        ast = parse_criterion(criterion, schema)
+    else:
+        text = str(criterion)
+        ast = criterion
+    form = to_conjunctive_form(ast)
+    subqueries = classify(form, plan)
+
+    strategies: dict[str, PredicateStrategy] = {}
+    for sq in subqueries:
+        for cp in sq.predicates:
+            pred = cp.predicate
+            key = str(pred)
+            if cp.scope.value == "local":
+                strategies[key] = PredicateStrategy(
+                    description="local-scan", primitive="scan", nodes=cp.nodes
+                )
+                continue
+            # Cross predicate: choose the relaxed-SMC primitive by operator.
+            left_attr = schema.get(pred.left.name)
+            right_attr = schema.get(pred.right.name)  # AttributeRef guaranteed
+            if pred.op in ("=", "!="):
+                strategies[key] = PredicateStrategy(
+                    description="cross-equality via commutative set intersection",
+                    primitive="ssi",
+                    nodes=cp.nodes,
+                )
+            elif pred.op in _ORDERED_OPS:
+                # Undefined attributes (C_1..C_n) are opaque to the DLA
+                # cluster but may well be numeric to the application; their
+                # comparability is only checkable at execution time.
+                def _orderable(attr) -> bool:
+                    return attr.comparable or attr.is_undefined
+
+                if not (_orderable(left_attr) and _orderable(right_attr)):
+                    raise PlanningError(
+                        f"ordered cross predicate {pred} needs comparable "
+                        f"attributes (got {left_attr.kind.value}, "
+                        f"{right_attr.kind.value})"
+                    )
+                strategies[key] = PredicateStrategy(
+                    description="cross-order via blind-TTP secure compare",
+                    primitive="scmp",
+                    nodes=cp.nodes,
+                )
+            else:  # pragma: no cover - operator set is closed
+                raise PlanningError(f"no strategy for operator {pred.op!r}")
+    return QueryPlan(
+        criterion_text=text, form=form, subqueries=subqueries, strategies=strategies
+    )

@@ -1,0 +1,34 @@
+"""Comparators the paper argues against.
+
+* :class:`~repro.baseline.centralized.CentralizedAuditor` — the Figure 1
+  single-repository model: cheap, zero confidentiality.
+* :mod:`~repro.baseline.circuits` / :mod:`~repro.baseline.ot` /
+  :mod:`~repro.baseline.gmw` — classical circuit MPC (two-party GMW with
+  DH-based oblivious transfer): private, but each AND gate costs an OT;
+  the X1 benchmark quantifies the gap to the relaxed primitives.
+"""
+
+from repro.baseline.centralized import CentralizedAuditor
+from repro.baseline.circuits import (
+    Circuit,
+    Gate,
+    encode_inputs,
+    equality_circuit,
+    less_than_circuit,
+)
+from repro.baseline.gmw import GmwCost, GmwEvaluator
+from repro.baseline.ot import ObliviousTransfer, OtReceiverMessage, OtSenderMessage
+
+__all__ = [
+    "CentralizedAuditor",
+    "Circuit",
+    "Gate",
+    "equality_circuit",
+    "less_than_circuit",
+    "encode_inputs",
+    "ObliviousTransfer",
+    "OtReceiverMessage",
+    "OtSenderMessage",
+    "GmwEvaluator",
+    "GmwCost",
+]

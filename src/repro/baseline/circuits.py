@@ -1,0 +1,156 @@
+"""Boolean circuits for the classical-MPC baseline.
+
+The paper's §1/§3 motivation: generic multiparty protocols "can implement
+any computing function" by evaluating boolean circuits, but "their
+communication and computation costs are very high".  To *measure* that
+claim we need actual circuits for the operations the relaxed primitives
+provide: equality and less-than over k-bit integers.
+
+A circuit is a DAG of gates over numbered wires.  Supported gates: INPUT
+(owned by a party), CONST, XOR, AND, NOT.  XOR/NOT are "free" in GMW
+(local); every AND costs one oblivious transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Gate", "Circuit", "equality_circuit", "less_than_circuit"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: ``op`` in {INPUT, CONST, XOR, AND, NOT}."""
+
+    op: str
+    args: tuple[int, ...] = ()
+    owner: str | None = None      # INPUT only
+    value: int | None = None      # CONST only
+
+
+class Circuit:
+    """A boolean circuit under construction / evaluation."""
+
+    def __init__(self) -> None:
+        self.gates: list[Gate] = []
+        self.outputs: list[int] = []
+        self.input_wires: dict[str, list[int]] = {}
+
+    def _add(self, gate: Gate) -> int:
+        self.gates.append(gate)
+        return len(self.gates) - 1
+
+    def input_bit(self, owner: str) -> int:
+        wire = self._add(Gate("INPUT", owner=owner))
+        self.input_wires.setdefault(owner, []).append(wire)
+        return wire
+
+    def input_bits(self, owner: str, count: int) -> list[int]:
+        return [self.input_bit(owner) for _ in range(count)]
+
+    def const(self, value: int) -> int:
+        if value not in (0, 1):
+            raise ConfigurationError("const gate takes a bit")
+        return self._add(Gate("CONST", value=value))
+
+    def xor(self, a: int, b: int) -> int:
+        return self._add(Gate("XOR", args=(a, b)))
+
+    def and_(self, a: int, b: int) -> int:
+        return self._add(Gate("AND", args=(a, b)))
+
+    def not_(self, a: int) -> int:
+        return self._add(Gate("NOT", args=(a,)))
+
+    def or_(self, a: int, b: int) -> int:
+        """OR via De Morgan: a ∨ b = ¬(¬a ∧ ¬b) — costs one AND."""
+        return self.not_(self.and_(self.not_(a), self.not_(b)))
+
+    def mark_output(self, wire: int) -> None:
+        self.outputs.append(wire)
+
+    @property
+    def and_count(self) -> int:
+        """The GMW cost driver: one OT per AND gate."""
+        return sum(1 for g in self.gates if g.op == "AND")
+
+    def evaluate_plain(self, inputs: dict[str, list[int]]) -> list[int]:
+        """Reference (non-secure) evaluation for correctness checks."""
+        values: list[int] = []
+        cursors = {owner: 0 for owner in inputs}
+        for gate in self.gates:
+            if gate.op == "INPUT":
+                cursor = cursors[gate.owner]
+                values.append(inputs[gate.owner][cursor] & 1)
+                cursors[gate.owner] += 1
+            elif gate.op == "CONST":
+                values.append(gate.value)
+            elif gate.op == "XOR":
+                values.append(values[gate.args[0]] ^ values[gate.args[1]])
+            elif gate.op == "AND":
+                values.append(values[gate.args[0]] & values[gate.args[1]])
+            elif gate.op == "NOT":
+                values.append(values[gate.args[0]] ^ 1)
+            else:  # pragma: no cover
+                raise ConfigurationError(f"unknown gate {gate.op}")
+        return [values[w] for w in self.outputs]
+
+
+def _to_bits(value: int, width: int) -> list[int]:
+    """LSB-first bit decomposition."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def equality_circuit(bits: int) -> Circuit:
+    """``A == B`` for two ``bits``-wide private integers.
+
+    XNOR per bit, then an AND reduction: ``bits - 1`` AND gates.
+    """
+    if bits < 1:
+        raise ConfigurationError("need at least one bit")
+    circuit = Circuit()
+    a = circuit.input_bits("A", bits)
+    b = circuit.input_bits("B", bits)
+    eq_bits = [circuit.not_(circuit.xor(x, y)) for x, y in zip(a, b)]
+    acc = eq_bits[0]
+    for bit in eq_bits[1:]:
+        acc = circuit.and_(acc, bit)
+    circuit.mark_output(acc)
+    return circuit
+
+
+def less_than_circuit(bits: int) -> Circuit:
+    """``A < B`` for two ``bits``-wide private unsigned integers.
+
+    Ripple comparator LSB-up (the most significant difference decides
+    last):
+        lt_i = (¬a_i ∧ b_i) ∨ (eq_i ∧ lt_{i-1})
+    Costs 3 AND gates per bit (one for ¬a∧b, one for eq∧carry, one for
+    the OR), i.e. ~3k OTs for k-bit values.
+    """
+    if bits < 1:
+        raise ConfigurationError("need at least one bit")
+    circuit = Circuit()
+    a = circuit.input_bits("A", bits)
+    b = circuit.input_bits("B", bits)
+    lt = circuit.const(0)
+    for i in range(bits):
+        a_i, b_i = a[i], b[i]
+        not_a = circuit.not_(a_i)
+        bit_lt = circuit.and_(not_a, b_i)
+        eq_i = circuit.not_(circuit.xor(a_i, b_i))
+        carry = circuit.and_(eq_i, lt)
+        lt = circuit.or_(bit_lt, carry)
+    circuit.mark_output(lt)
+    return circuit
+
+
+def encode_inputs(value_a: int, value_b: int, bits: int) -> dict[str, list[int]]:
+    """Bit-encode both parties' inputs for a comparator circuit."""
+    if value_a < 0 or value_b < 0:
+        raise ConfigurationError("comparator inputs must be non-negative")
+    if max(value_a, value_b) >= (1 << bits):
+        raise ConfigurationError(f"inputs exceed {bits} bits")
+    return {"A": _to_bits(value_a, bits), "B": _to_bits(value_b, bits)}

@@ -1,0 +1,139 @@
+"""Two-party GMW circuit evaluation — the classical-MPC cost baseline.
+
+Implements the textbook Goldreich-Micali-Wigderson protocol for two
+honest-but-curious parties over the circuits of
+:mod:`repro.baseline.circuits`:
+
+* every wire value is XOR-shared between A and B;
+* INPUT: the owner samples the counterpart's share at random;
+* XOR / NOT: local (free);
+* AND: one 1-out-of-4 oblivious transfer — A (sender) prepares the four
+  possible share completions masked by a fresh random bit, B (receiver)
+  selects with its two input shares;
+* OUTPUT: parties exchange shares and reconstruct.
+
+The evaluator counts messages, bytes and modular exponentiations so the
+X1 benchmark can put hard numbers behind the paper's claim that classical
+MPC is "too costly ... for practical systems" relative to the relaxed
+primitives (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baseline.circuits import Circuit
+from repro.baseline.ot import ObliviousTransfer
+from repro.crypto.rng import DeterministicRng
+from repro.crypto.schnorr import SchnorrGroup
+from repro.errors import ProtocolAbortError
+
+__all__ = ["GmwCost", "GmwEvaluator"]
+
+
+@dataclass
+class GmwCost:
+    """Accumulated protocol cost of one evaluation."""
+
+    messages: int = 0
+    bytes: int = 0
+    modexp: int = 0
+    ot_count: int = 0
+
+    def add_message(self, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+
+
+@dataclass
+class GmwEvaluator:
+    """Evaluates a two-party circuit under GMW with cost accounting.
+
+    Both parties run in-process; all "network" quantities are still
+    counted exactly as a two-node deployment would send them (the OT
+    transcript sizes use the group's real element width).
+    """
+
+    group: SchnorrGroup
+    rng: DeterministicRng
+    cost: GmwCost = field(default_factory=GmwCost)
+
+    def _element_bytes(self) -> int:
+        return (self.group.p.bit_length() + 7) // 8
+
+    def evaluate(self, circuit: Circuit, inputs: dict[str, list[int]]) -> list[int]:
+        """Run the protocol; returns the reconstructed output bits."""
+        if set(circuit.input_wires) - {"A", "B"}:
+            raise ProtocolAbortError("two-party GMW supports owners A and B only")
+        ot = ObliviousTransfer(self.group, self.rng.spawn("ot"))
+        share_a: dict[int, int] = {}
+        share_b: dict[int, int] = {}
+        cursors = {"A": 0, "B": 0}
+
+        for wire, gate in enumerate(circuit.gates):
+            if gate.op == "INPUT":
+                owner = gate.owner
+                bit = inputs[owner][cursors[owner]] & 1
+                cursors[owner] += 1
+                mask = self.rng.getrandbits(1)
+                if owner == "A":
+                    share_a[wire] = bit ^ mask
+                    share_b[wire] = mask
+                else:
+                    share_b[wire] = bit ^ mask
+                    share_a[wire] = mask
+                # Shipping the counterpart's share: one 1-byte message.
+                self.cost.add_message(1)
+            elif gate.op == "CONST":
+                share_a[wire] = gate.value
+                share_b[wire] = 0
+            elif gate.op == "XOR":
+                x, y = gate.args
+                share_a[wire] = share_a[x] ^ share_a[y]
+                share_b[wire] = share_b[x] ^ share_b[y]
+            elif gate.op == "NOT":
+                (x,) = gate.args
+                share_a[wire] = share_a[x] ^ 1
+                share_b[wire] = share_b[x]
+            elif gate.op == "AND":
+                x, y = gate.args
+                share_a[wire], share_b[wire] = self._and_gate(
+                    ot, share_a[x], share_a[y], share_b[x], share_b[y]
+                )
+            else:  # pragma: no cover
+                raise ProtocolAbortError(f"unknown gate {gate.op}")
+
+        # Output reconstruction: exchange output-wire shares (1 byte each way).
+        outputs = []
+        for wire in circuit.outputs:
+            self.cost.add_message(1)
+            self.cost.add_message(1)
+            outputs.append(share_a[wire] ^ share_b[wire])
+        return outputs
+
+    def _and_gate(
+        self, ot: ObliviousTransfer, a_x: int, a_y: int, b_x: int, b_y: int
+    ) -> tuple[int, int]:
+        """One AND gate via 1-out-of-4 OT.
+
+        A plays sender with fresh mask r; table entry for B's share pair
+        (i, j) is ``r ⊕ ((a_x ⊕ i) ∧ (a_y ⊕ j))``.
+        """
+        r = self.rng.getrandbits(1)
+        table = []
+        for i in (0, 1):
+            for j in (0, 1):
+                value = r ^ ((a_x ^ i) & (a_y ^ j))
+                table.append(bytes([value]))
+        choice = (b_x << 1) | b_y
+        plain, messages, modexp = ot.run(table, choice)
+
+        element = self._element_bytes()
+        # Receiver message: 4 public keys; sender message: 4 ephemerals +
+        # 4 one-byte ciphertexts.
+        self.cost.add_message(4 * element)
+        self.cost.add_message(4 * element + 4)
+        self.cost.messages += messages - 2  # ot.run already counted 2 logical msgs
+        self.cost.modexp += modexp
+        self.cost.ot_count += 1
+        return r, plain[0] & 1

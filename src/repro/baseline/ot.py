@@ -1,0 +1,137 @@
+"""1-out-of-N oblivious transfer (Bellare-Micali / Naor-Pinkas style).
+
+The cost atom of circuit MPC: every AND gate in two-party GMW consumes one
+1-out-of-4 OT.  Construction over a Schnorr group (honest-but-curious,
+which matches the paper's DLA threat model):
+
+1. the sender publishes a random group element ``C`` (no one knows its
+   discrete log);
+2. the receiver with choice ``σ`` picks ``x``, sets ``pk_σ = g^x`` and
+   derives the other public keys as ``pk_i = C / g^x`` — so it can know
+   the secret key of **at most one** key;
+3. the sender ElGamal-encrypts message ``m_i`` under ``pk_i``; the
+   receiver decrypts only index σ.
+
+For the simple 1-of-4 case we publish three independent ``C_i`` so each
+non-chosen key is pinned.  Messages are bit/bytes; encryption is hashed
+ElGamal (DH key → SHA-256 pad).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.modmath import modinv
+from repro.crypto.schnorr import SchnorrGroup
+from repro.errors import ProtocolAbortError
+
+__all__ = ["ObliviousTransfer", "OtSenderMessage", "OtReceiverMessage"]
+
+
+def _dh_pad(group: SchnorrGroup, shared: int, index: int, length: int) -> bytes:
+    seed = b"ot-pad:" + shared.to_bytes((group.p.bit_length() + 7) // 8, "big")
+    seed += index.to_bytes(2, "big")
+    out = b""
+    counter = 0
+    while len(out) < length:
+        out += hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return out[:length]
+
+
+@dataclass(frozen=True)
+class OtReceiverMessage:
+    """Receiver → sender: the N public keys (choice hidden)."""
+
+    public_keys: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class OtSenderMessage:
+    """Sender → receiver: per-index ElGamal ciphertexts."""
+
+    ephemeral: tuple[int, ...]
+    ciphertexts: tuple[bytes, ...]
+
+
+class ObliviousTransfer:
+    """One 1-out-of-N OT instance over a fixed group.
+
+    Stateless helpers: receiver side produces (message, secret); sender
+    side encrypts; receiver side decrypts.  Transcript objects are plain
+    dataclasses so the GMW engine can ship them over any transport.
+    """
+
+    def __init__(self, group: SchnorrGroup, rng) -> None:
+        self.group = group
+        self._rng = rng
+
+    def pin_points(self, n: int) -> tuple[int, ...]:
+        """Sender setup: N-1 random 'pin' elements C_1..C_{n-1}."""
+        return tuple(
+            pow(self.group.g, self.group.random_scalar(self._rng), self.group.p)
+            for _ in range(n - 1)
+        )
+
+    def receiver_choose(
+        self, pins: tuple[int, ...], choice: int
+    ) -> tuple[OtReceiverMessage, int]:
+        """Build the public-key vector with a known key only at ``choice``."""
+        n = len(pins) + 1
+        if not 0 <= choice < n:
+            raise ProtocolAbortError(f"choice {choice} out of range for 1-of-{n}")
+        x = self.group.random_scalar(self._rng)
+        my_pk = pow(self.group.g, x, self.group.p)
+        keys = []
+        pin_iter = iter(pins)
+        for index in range(n):
+            if index == choice:
+                keys.append(my_pk)
+            else:
+                # pk_i = C_i / pk_choice: knowing x for both would yield
+                # log(C_i), which the receiver cannot compute.
+                c = next(pin_iter)
+                keys.append((c * modinv(my_pk, self.group.p)) % self.group.p)
+        return OtReceiverMessage(public_keys=tuple(keys)), x
+
+    def sender_encrypt(
+        self, request: OtReceiverMessage, messages: list[bytes]
+    ) -> OtSenderMessage:
+        """Encrypt each message under the corresponding public key."""
+        if len(messages) != len(request.public_keys):
+            raise ProtocolAbortError("message count != key count")
+        ephemerals = []
+        ciphertexts = []
+        for index, (pk, msg) in enumerate(zip(request.public_keys, messages)):
+            k = self.group.random_scalar(self._rng)
+            ephemerals.append(pow(self.group.g, k, self.group.p))
+            shared = pow(pk, k, self.group.p)
+            pad = _dh_pad(self.group, shared, index, len(msg))
+            ciphertexts.append(bytes(a ^ b for a, b in zip(msg, pad)))
+        return OtSenderMessage(
+            ephemeral=tuple(ephemerals), ciphertexts=tuple(ciphertexts)
+        )
+
+    def receiver_decrypt(
+        self, response: OtSenderMessage, choice: int, secret: int
+    ) -> bytes:
+        """Decrypt the chosen ciphertext with the known secret key."""
+        shared = pow(response.ephemeral[choice], secret, self.group.p)
+        ciphertext = response.ciphertexts[choice]
+        pad = _dh_pad(self.group, shared, choice, len(ciphertext))
+        return bytes(a ^ b for a, b in zip(ciphertext, pad))
+
+    def run(self, messages: list[bytes], choice: int) -> tuple[bytes, int, int]:
+        """In-process full OT; returns ``(chosen, messages_sent, modexp)``.
+
+        Cost accounting: receiver 2 modexp (keygen + decrypt), sender
+        2 modexp per branch (ephemeral + shared), pins 1 each.
+        """
+        pins = self.pin_points(len(messages))
+        request, secret = self.receiver_choose(pins, choice)
+        response = self.sender_encrypt(request, messages)
+        plain = self.receiver_decrypt(response, choice, secret)
+        n = len(messages)
+        modexp = (n - 1) + 2 + 2 * n  # pins + receiver + sender
+        return plain, 2, modexp

@@ -1,0 +1,48 @@
+"""DLA cluster runtime: anonymous membership, evidence chains, agreement.
+
+Implements paper §4.2 and Figures 6-7: the credential authority mints
+anonymous audit tokens (blind signatures); membership grows through the
+three-way join handshake producing unforgeable cross-signed evidence
+pieces; invitation authority transfers along the chain; double invitation
+is detectable and deanonymizes the cheater through the identity escrow;
+query results pass distributed majority agreement and threshold signing.
+"""
+
+from repro.cluster.agreement import (
+    AgreementNode,
+    digest_result,
+    run_majority_agreement,
+    sign_agreed_result,
+)
+from repro.cluster.authority import AuditToken, CredentialAuthority, NodeCredentials
+from repro.cluster.evidence import (
+    EvidenceChain,
+    EvidencePiece,
+    ServiceTerms,
+    find_double_invitations,
+    make_evidence,
+    verify_evidence,
+)
+from repro.cluster.join import InviteeNode, InviterNode, run_join_handshake
+from repro.cluster.membership import DlaMembership, MisconductReport
+
+__all__ = [
+    "CredentialAuthority",
+    "AuditToken",
+    "NodeCredentials",
+    "ServiceTerms",
+    "EvidencePiece",
+    "EvidenceChain",
+    "make_evidence",
+    "verify_evidence",
+    "find_double_invitations",
+    "InviterNode",
+    "InviteeNode",
+    "run_join_handshake",
+    "DlaMembership",
+    "MisconductReport",
+    "digest_result",
+    "AgreementNode",
+    "run_majority_agreement",
+    "sign_agreed_result",
+]

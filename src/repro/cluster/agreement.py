@@ -1,0 +1,143 @@
+"""Distributed majority agreement on auditing results (paper §2).
+
+"DLA nodes use secure multiparty computations, threshold signature and
+distributed majority agreement to provide trusted and reliable auditing."
+
+A compromised DLA node could report a falsified query result; before a
+result is released it passes one round of majority voting: every node
+broadcasts the digest of the result it computed, every node tallies, and
+the majority digest wins (ties fail).  The agreed digest is then
+threshold-signed by ``k`` of the ``n`` nodes so the receiving user can
+check a single cluster signature (:mod:`repro.crypto.threshold`).
+
+The protocol is the crash/byzantine-lite form adequate for the paper's
+honest-majority threat model — it is one broadcast round, not a full
+consensus protocol (no leader, no view change); f < n/2 faulty reporters
+are outvoted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.crypto.threshold import ThresholdKeyShare, ThresholdScheme
+from repro.crypto.schnorr import SchnorrSignature
+from repro.errors import AgreementError, ProtocolAbortError
+from repro.net.message import Message
+from repro.net.simnet import SimNetwork
+
+__all__ = ["digest_result", "AgreementNode", "run_majority_agreement", "sign_agreed_result"]
+
+
+def digest_result(value) -> str:
+    """Canonical digest of an auditing result (JSON-serializable value)."""
+    body = json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class _AgreementState:
+    votes: dict[str, str] = field(default_factory=dict)
+    decided: str | None = None
+    agreed: bool = False
+
+
+class AgreementNode:
+    """One DLA node's participation in a majority-agreement round."""
+
+    def __init__(self, node_id: str, peers: list[str], local_digest: str) -> None:
+        self.node_id = node_id
+        self.peers = sorted(peers)
+        self.local_digest = local_digest
+        self.state = _AgreementState()
+        self.state.votes[node_id] = local_digest
+
+    def start(self, transport) -> None:
+        for peer in self.peers:
+            if peer == self.node_id:
+                continue
+            transport.send(
+                Message(
+                    src=self.node_id,
+                    dst=peer,
+                    kind="agree.vote",
+                    payload={"digest": self.local_digest},
+                )
+            )
+        self._maybe_decide()
+
+    def handle(self, msg: Message, transport) -> None:
+        if msg.kind != "agree.vote":
+            raise ProtocolAbortError(f"unexpected message kind {msg.kind!r}")
+        self.state.votes[msg.src] = msg.payload["digest"]
+        self._maybe_decide()
+
+    def _maybe_decide(self) -> None:
+        if len(self.state.votes) < len(self.peers):
+            return
+        tally = Counter(self.state.votes.values())
+        digest, count = tally.most_common(1)[0]
+        if count * 2 > len(self.peers):
+            self.state.decided = digest
+            self.state.agreed = True
+        else:
+            self.state.decided = None
+            self.state.agreed = False
+
+
+def run_majority_agreement(
+    local_digests: dict[str, str], net: SimNetwork | None = None
+) -> tuple[str, dict[str, bool]]:
+    """One agreement round over a simulated network.
+
+    Parameters
+    ----------
+    local_digests:
+        node id -> the digest that node locally computed.
+
+    Returns
+    -------
+    (agreed_digest, per_node_agreement)
+
+    Raises
+    ------
+    AgreementError
+        If no strict majority exists.
+    """
+    peers = sorted(local_digests)
+    net = net or SimNetwork()
+    nodes = {
+        node_id: AgreementNode(node_id, peers, digest)
+        for node_id, digest in local_digests.items()
+    }
+    for node_id, node in nodes.items():
+        net.register(node_id, node.handle)
+    for node in nodes.values():
+        node.start(net)
+    net.run()
+
+    decisions = {nid: n.state.decided for nid, n in nodes.items()}
+    agreements = {nid: n.state.agreed for nid, n in nodes.items()}
+    concluded = {d for d in decisions.values() if d is not None}
+    if not concluded or len(concluded) > 1 or not all(agreements.values()):
+        raise AgreementError(
+            f"no majority agreement: votes {Counter(local_digests.values())}"
+        )
+    return concluded.pop(), agreements
+
+
+def sign_agreed_result(
+    scheme: ThresholdScheme,
+    shares: list[ThresholdKeyShare],
+    agreed_digest: str,
+    rng=None,
+) -> SchnorrSignature:
+    """Threshold-sign an agreed digest with ``k`` of the cluster's shares."""
+    if len(shares) < scheme.k:
+        raise AgreementError(
+            f"need {scheme.k} signer shares, got {len(shares)}"
+        )
+    return scheme.sign(shares, agreed_digest.encode("ascii"), rng=rng)

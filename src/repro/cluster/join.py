@@ -1,0 +1,276 @@
+"""The three-way join handshake (paper Figure 7).
+
+"In the first phase, P_y sends to P_x a policy proposal (PP) to invite P_x
+to become a new DLA node.  In the second phase, P_x acknowledges P_y by
+sending back a service commitment (SC).  In the third phase, P_y passes
+the new piece of evidence to inform P_x that it becomes a legitimate DLA
+member, and P_y also passes the authority to invite other new nodes."
+
+Message flow over the transport::
+
+    P_y --- join.pp  {proposal, inviter token}            ---> P_x
+    P_x --- join.sc  {commitment list, invitee token,
+                      escrow commitment, invitee sig}     ---> P_y
+    P_y --- join.re  {complete evidence piece,
+                      authority-transfer flag}            ---> P_x
+
+Both sides verify tokens on receipt (``g(t) = 1``) and P_x verifies the
+finished evidence (``f(...) = 1``) before accepting membership.  The
+inviter marks its authority as spent when it emits ``join.re`` — inviting
+again afterwards is the Figure 6 misconduct that
+:func:`~repro.cluster.evidence.find_double_invitations` exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.authority import CredentialAuthority, NodeCredentials, AuditToken
+from repro.cluster.evidence import (
+    EvidencePiece,
+    ServiceTerms,
+    verify_evidence,
+)
+from repro.crypto.commitments import Commitment, PedersenCommitter
+from repro.crypto.schnorr import SchnorrSignature, SchnorrSigner
+from repro.errors import EvidenceError, MembershipError
+from repro.net.message import Message
+
+__all__ = ["InviterNode", "InviteeNode", "run_join_handshake"]
+
+
+def _sig_to_wire(sig: SchnorrSignature) -> dict:
+    return {"c": sig.c, "s": sig.s}
+
+
+def _sig_from_wire(data: dict) -> SchnorrSignature:
+    return SchnorrSignature(c=data["c"], s=data["s"])
+
+
+def _token_to_wire(token: AuditToken) -> dict:
+    return {"pseudonym": token.pseudonym, "sig": _sig_to_wire(token.signature)}
+
+
+def _token_from_wire(data: dict) -> AuditToken:
+    return AuditToken(pseudonym=data["pseudonym"], signature=_sig_from_wire(data["sig"]))
+
+
+@dataclass
+class _InviterState:
+    proposal: tuple[str, ...] = ()
+    invitee_id: str | None = None
+    evidence: EvidencePiece | None = None
+    authority_spent: bool = False
+
+
+@dataclass
+class _InviteeState:
+    evidence: EvidencePiece | None = None
+    accepted: bool = False
+    pending_sc: dict = field(default_factory=dict)
+
+
+class InviterNode:
+    """P_y: holds current invitation authority, drives PP and RE phases."""
+
+    def __init__(
+        self,
+        node_id: str,
+        creds: NodeCredentials,
+        authority: CredentialAuthority,
+        chain_index: int,
+        rng=None,
+    ) -> None:
+        self.node_id = node_id
+        self.creds = creds
+        self.authority = authority
+        self.chain_index = chain_index
+        self._rng = rng
+        self.state = _InviterState()
+
+    def invite(self, transport, invitee_id: str, proposal: list[str]) -> None:
+        """Phase 1: send the policy proposal."""
+        if self.state.authority_spent:
+            raise MembershipError(
+                f"{self.node_id} already transferred its invitation authority"
+            )
+        self.state.proposal = tuple(proposal)
+        self.state.invitee_id = invitee_id
+        transport.send(
+            Message(
+                src=self.node_id,
+                dst=invitee_id,
+                kind="join.pp",
+                payload={
+                    "proposal": list(proposal),
+                    "inviter_token": _token_to_wire(self.creds.token),
+                    "index": self.chain_index,
+                },
+            )
+        )
+
+    def handle(self, msg: Message, transport) -> None:
+        if msg.kind != "join.sc":
+            raise MembershipError(f"inviter got unexpected {msg.kind!r}")
+        self._on_service_commitment(msg, transport)
+
+    def _on_service_commitment(self, msg: Message, transport) -> None:
+        """Phase 3: assemble, counter-sign and hand over the evidence."""
+        payload = msg.payload
+        invitee_token = _token_from_wire(payload["invitee_token"])
+        if not self.authority.verify_token(invitee_token):
+            raise EvidenceError("invitee token failed g(t)=1 verification")
+        terms = ServiceTerms(
+            proposal=self.state.proposal,
+            commitment=tuple(payload["commitment"]),
+        )
+        committer = PedersenCommitter(self.authority.pedersen, self._rng)
+        terms_commitment, opening = committer.commit(terms.canonical_bytes())
+        escrow = Commitment(payload["escrow"])
+        draft = EvidencePiece(
+            index=self.chain_index,
+            inviter_token=self.creds.token,
+            invitee_token=invitee_token,
+            terms=terms,
+            terms_commitment=terms_commitment,
+            terms_opening=opening,
+            invitee_escrow=escrow,
+            inviter_signature=SchnorrSignature(0, 0),
+            invitee_signature=SchnorrSignature(0, 0),
+        )
+        signer = SchnorrSigner(self.authority.group, self._rng)
+        body = draft.signed_body()
+        inviter_sig = signer.sign(self.creds.pseudonym_key, body)
+        self.state.authority_spent = True
+        transport.send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                kind="join.re",
+                payload={
+                    "index": draft.index,
+                    "inviter_token": _token_to_wire(draft.inviter_token),
+                    "invitee_token": _token_to_wire(draft.invitee_token),
+                    "proposal": list(terms.proposal),
+                    "commitment": list(terms.commitment),
+                    "terms_commitment": draft.terms_commitment.value,
+                    "terms_opening": draft.terms_opening,
+                    "escrow": draft.invitee_escrow.value,
+                    "inviter_sig": _sig_to_wire(inviter_sig),
+                    "authority_transferred": True,
+                },
+            )
+        )
+
+
+class InviteeNode:
+    """P_x: answers PP with SC, verifies and counter-signs the evidence."""
+
+    def __init__(
+        self,
+        node_id: str,
+        creds: NodeCredentials,
+        authority: CredentialAuthority,
+        services: list[str],
+        rng=None,
+    ) -> None:
+        self.node_id = node_id
+        self.creds = creds
+        self.authority = authority
+        self.services = list(services)
+        self._rng = rng
+        self.state = _InviteeState()
+
+    def handle(self, msg: Message, transport) -> None:
+        if msg.kind == "join.pp":
+            self._on_policy_proposal(msg, transport)
+        elif msg.kind == "join.re":
+            self._on_evidence(msg, transport)
+        else:
+            raise MembershipError(f"invitee got unexpected {msg.kind!r}")
+
+    def _on_policy_proposal(self, msg: Message, transport) -> None:
+        """Phase 2: verify the inviter's token, send the service commitment."""
+        inviter_token = _token_from_wire(msg.payload["inviter_token"])
+        if not self.authority.verify_token(inviter_token):
+            raise EvidenceError("inviter token failed g(t)=1 verification")
+        transport.send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                kind="join.sc",
+                payload={
+                    "commitment": self.services,
+                    "invitee_token": _token_to_wire(self.creds.token),
+                    "escrow": self.creds.identity_commitment.value,
+                },
+            )
+        )
+
+    def _on_evidence(self, msg: Message, transport) -> None:
+        payload = msg.payload
+        terms = ServiceTerms(
+            proposal=tuple(payload["proposal"]),
+            commitment=tuple(payload["commitment"]),
+        )
+        if tuple(payload["commitment"]) != tuple(self.services):
+            raise EvidenceError("inviter altered the service commitment")
+        draft = EvidencePiece(
+            index=payload["index"],
+            inviter_token=_token_from_wire(payload["inviter_token"]),
+            invitee_token=_token_from_wire(payload["invitee_token"]),
+            terms=terms,
+            terms_commitment=Commitment(payload["terms_commitment"]),
+            terms_opening=payload["terms_opening"],
+            invitee_escrow=Commitment(payload["escrow"]),
+            inviter_signature=_sig_from_wire(payload["inviter_sig"]),
+            invitee_signature=SchnorrSignature(0, 0),
+        )
+        signer = SchnorrSigner(self.authority.group, self._rng)
+        body = draft.signed_body()
+        if not signer.verify(
+            draft.inviter_token.pseudonym, body, draft.inviter_signature
+        ):
+            raise EvidenceError("inviter signature on evidence invalid")
+        invitee_sig = signer.sign(self.creds.pseudonym_key, body)
+        piece = EvidencePiece(
+            index=draft.index,
+            inviter_token=draft.inviter_token,
+            invitee_token=draft.invitee_token,
+            terms=draft.terms,
+            terms_commitment=draft.terms_commitment,
+            terms_opening=draft.terms_opening,
+            invitee_escrow=draft.invitee_escrow,
+            inviter_signature=draft.inviter_signature,
+            invitee_signature=invitee_sig,
+        )
+        verify_evidence(self.authority, piece)
+        self.state.evidence = piece
+        self.state.accepted = bool(payload["authority_transferred"])
+
+
+def run_join_handshake(
+    net,
+    authority: CredentialAuthority,
+    inviter_id: str,
+    inviter_creds: NodeCredentials,
+    invitee_id: str,
+    invitee_creds: NodeCredentials,
+    proposal: list[str],
+    services: list[str],
+    chain_index: int,
+    rng=None,
+) -> EvidencePiece:
+    """Drive the full Figure 7 handshake on a simulated network.
+
+    Returns the cross-signed evidence piece held by the new member.
+    """
+    inviter = InviterNode(inviter_id, inviter_creds, authority, chain_index, rng)
+    invitee = InviteeNode(invitee_id, invitee_creds, authority, services, rng)
+    net.register(inviter_id, inviter.handle)
+    net.register(invitee_id, invitee.handle)
+    inviter.invite(net, invitee_id, proposal)
+    net.run()
+    if invitee.state.evidence is None or not invitee.state.accepted:
+        raise MembershipError("join handshake did not complete")
+    return invitee.state.evidence

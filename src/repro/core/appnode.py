@@ -1,0 +1,103 @@
+"""Application-subsystem node ``u_j`` (paper Figure 2, left side).
+
+An :class:`ApplicationNode` is one operational information system: it
+executes transaction events, turns them into log records and submits the
+fragments to the DLA subsystem through the service's write path, keeping
+its write receipts (glsn + integrity anchor) for later verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.service import ConfidentialAuditingService
+from repro.core.transaction import AtomicEvent, Transaction
+from repro.crypto.tickets import Ticket
+from repro.errors import LogStoreError
+from repro.logstore.records import LogRecord
+from repro.logstore.store import WriteReceipt
+
+__all__ = ["ApplicationNode"]
+
+
+@dataclass
+class ApplicationNode:
+    """One user node with its ticket and logging history."""
+
+    user_id: str
+    service: ConfidentialAuditingService
+    ticket: Ticket
+    receipts: list[WriteReceipt] = field(default_factory=list)
+
+    @classmethod
+    def register(
+        cls, user_id: str, service: ConfidentialAuditingService
+    ) -> "ApplicationNode":
+        """Register with the ticket authority and return the node."""
+        return cls(
+            user_id=user_id,
+            service=service,
+            ticket=service.register_user(user_id),
+        )
+
+    def log_values(self, values: dict) -> WriteReceipt:
+        """Log one raw record (the ``id`` attribute defaults to us)."""
+        body = dict(values)
+        body.setdefault("id", self.user_id)
+        receipt = self.service.log_event(body, self.ticket)
+        self.receipts.append(receipt)
+        return receipt
+
+    def log_transaction(self, transaction: Transaction) -> list[WriteReceipt]:
+        """Log every event of a transaction executed *by this node*.
+
+        Events executed by other nodes are skipped — each node logs its own
+        part, which is exactly what makes cross-node auditing necessary.
+        """
+        receipts = []
+        for step, event in enumerate(transaction.events):
+            if event.executor != self.user_id:
+                continue
+            values = event.log_values(transaction.tsn, transaction.ttn, step)
+            receipts.append(self.log_values(values))
+        return receipts
+
+    def log_event(self, transaction: Transaction, event: AtomicEvent, step: int) -> WriteReceipt:
+        """Log a single event of a transaction (fine-grained variant)."""
+        if event.executor != self.user_id:
+            raise LogStoreError(
+                f"{self.user_id} cannot log an event executed by {event.executor}"
+            )
+        return self.log_values(event.log_values(transaction.tsn, transaction.ttn, step))
+
+    def read_back(self, receipt: WriteReceipt) -> LogRecord:
+        """Read one of our own records back (ticket-checked end to end)."""
+        return self.service.read_own_record(receipt.glsn, self.ticket)
+
+    def fetch_matching(self, criterion: str) -> list[LogRecord]:
+        """The paper's final query step: retrieve the *log pieces* that
+        meet an auditing criterion — for the records this node owns.
+
+        The confidential query yields glsns; ticket-checked reassembly
+        then returns full records, but only for glsns granted to our own
+        ticket (others raise AccessDenied and are skipped — the DLA never
+        hands us someone else's record).
+        """
+        from repro.errors import AccessDeniedError, UnknownGlsnError
+
+        result = self.service.query(criterion)
+        records = []
+        for glsn in result.glsns:
+            try:
+                records.append(self.service.read_own_record(glsn, self.ticket))
+            except (AccessDeniedError, UnknownGlsnError):
+                continue
+        return records
+
+    def verify_receipt(self, receipt: WriteReceipt) -> bool:
+        """Check the cluster still reproduces our integrity anchor."""
+        reports = self.service.check_integrity(distributed=False)
+        for report in reports:
+            if report.glsn == receipt.glsn:
+                return report.ok and report.expected == receipt.accumulator
+        return False

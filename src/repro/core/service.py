@@ -1,0 +1,262 @@
+"""The end-to-end confidential auditing service (paper Figure 2).
+
+:class:`ConfidentialAuditingService` wires every substrate together:
+
+* a ticket authority (Kerberos-style) authenticating application nodes;
+* a credential authority + evidence-chain membership for the DLA nodes;
+* a fragment plan + distributed log store (vertical fragmentation, ACLs,
+  integrity anchors);
+* the relaxed-SMC query executor;
+* majority agreement + threshold signing over released results.
+
+This is the class a downstream user instantiates; the examples and
+integration tests drive everything through it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.audit.executor import AggregateResult, QueryExecutor, QueryResult
+from repro.audit.planner import QueryPlan, plan_query
+from repro.cluster.agreement import digest_result, run_majority_agreement, sign_agreed_result
+from repro.cluster.authority import CredentialAuthority, NodeCredentials
+from repro.cluster.membership import DlaMembership
+from repro.crypto.accumulator import AccumulatorParams
+from repro.crypto.pohlig_hellman import shared_prime
+from repro.crypto.rng import DeterministicRng, system_rng
+from repro.crypto.schnorr import SchnorrGroup, SchnorrSignature
+from repro.crypto.threshold import ThresholdKeyShare, ThresholdScheme
+from repro.crypto.tickets import Operation, Ticket, TicketAuthority
+from repro.errors import ClusterError, ConfigurationError
+from repro.logstore.fragmentation import FragmentPlan
+from repro.logstore.integrity import IntegrityChecker, IntegrityReport, run_integrity_round
+from repro.logstore.records import LogRecord
+from repro.logstore.schema import GlobalSchema
+from repro.logstore.store import DistributedLogStore, WriteReceipt
+from repro.smc.base import SmcContext
+
+__all__ = ["AuditReport", "ConfidentialAuditingService"]
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """A released auditing result: glsns + cluster threshold signature."""
+
+    criterion: str
+    glsns: tuple[int, ...]
+    digest: str
+    signature: SchnorrSignature
+    cluster_public_key: int
+
+    def body_bytes(self) -> bytes:
+        return self.digest.encode("ascii")
+
+
+class ConfidentialAuditingService:
+    """Full DLA deployment in one object.
+
+    Parameters
+    ----------
+    schema, plan:
+        Attribute universe and the vertical fragment assignment.
+    prime_bits:
+        Size of the shared commutative-cipher prime (tests use 64-128).
+    threshold:
+        ``k`` of the ``n`` DLA nodes needed to sign a released report;
+        defaults to a strict majority.
+    rng:
+        Seedable RNG for reproducible deployments.
+    """
+
+    def __init__(
+        self,
+        schema: GlobalSchema,
+        plan: FragmentPlan,
+        prime_bits: int = 128,
+        threshold: int | None = None,
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        self.rng = rng or system_rng()
+        self.schema = schema
+        self.plan = plan
+        node_count = len(plan.node_ids)
+        self.threshold = threshold if threshold is not None else node_count // 2 + 1
+        if not 1 <= self.threshold <= node_count:
+            raise ConfigurationError(
+                f"threshold {self.threshold} invalid for {node_count} nodes"
+            )
+
+        # Application-side authentication.
+        self.ticket_authority = TicketAuthority(
+            self.rng.spawn("tickets").randbytes(32)
+        )
+
+        # Storage.
+        self.store = DistributedLogStore(
+            plan,
+            self.ticket_authority,
+            AccumulatorParams.generate(256, self.rng.spawn("accumulator")),
+        )
+
+        # Relaxed-SMC context and executor.
+        self.ctx = SmcContext(
+            shared_prime(prime_bits), self.rng.spawn("smc")
+        )
+        self.executor = QueryExecutor(self.store, self.ctx, schema)
+
+        # DLA-side identity: credential authority, membership, signatures.
+        group = SchnorrGroup.generate(256, self.rng.spawn("group"))
+        self.credential_authority = CredentialAuthority(group, self.rng.spawn("ca"))
+        self.node_credentials: dict[str, NodeCredentials] = {}
+        founder_id = plan.node_ids[0]
+        founder = self.credential_authority.enroll(f"real:{founder_id}")
+        self.node_credentials[founder_id] = founder
+        self.membership = DlaMembership(self.credential_authority, founder)
+        for previous, node_id in zip(plan.node_ids, plan.node_ids[1:]):
+            creds = self.credential_authority.enroll(f"real:{node_id}")
+            self.node_credentials[node_id] = creds
+            self.membership.admit_direct(
+                self.node_credentials[previous],
+                creds,
+                proposal=[f"support:{a}" for a in plan.assignment[node_id]],
+                services=[f"store:{a}" for a in plan.assignment[node_id]],
+                rng=self.rng.spawn(f"join:{node_id}"),
+            )
+
+        self.threshold_scheme = ThresholdScheme(group, self.threshold, node_count)
+        self.cluster_public_key, shares = self.threshold_scheme.deal(
+            self.rng.spawn("threshold")
+        )
+        self.node_shares: dict[str, ThresholdKeyShare] = {
+            node_id: share for node_id, share in zip(plan.node_ids, shares)
+        }
+
+    # -- application-node lifecycle ------------------------------------------------
+
+    def register_user(
+        self,
+        user_id: str,
+        operations: set[Operation] | None = None,
+        lifetime: int | None = None,
+    ) -> Ticket:
+        """Issue an access ticket for an application node ``u_j``."""
+        ops = operations or {Operation.READ, Operation.WRITE}
+        return self.ticket_authority.issue(user_id, ops, lifetime)
+
+    def log_event(self, values: dict, ticket: Ticket) -> WriteReceipt:
+        """The Figure 2 write path: fragment and store one event record."""
+        return self.store.append(values, ticket)
+
+    def read_own_record(self, glsn: int, ticket: Ticket) -> LogRecord:
+        """An owner reading back its own record (ticket-checked)."""
+        return self.store.read_record(glsn, ticket)
+
+    # -- auditing -----------------------------------------------------------------
+
+    def plan_criterion(self, criterion: str) -> QueryPlan:
+        """Plan (Figure 3 decomposition) without executing."""
+        return plan_query(criterion, self.schema, self.store.plan)
+
+    def query(self, criterion: str) -> QueryResult:
+        """Run one confidential auditing query (no report signing)."""
+        return self.executor.execute(criterion)
+
+    def aggregate(self, op: str, attribute: str, criterion: str | None = None) -> AggregateResult:
+        """Confidential aggregate (sum / count / max / min)."""
+        return self.executor.aggregate(op, attribute, criterion)
+
+    def audited_query(self, criterion: str) -> AuditReport:
+        """Query + majority agreement + threshold-signed release.
+
+        Every DLA node is modeled as computing the result; the digests
+        pass one agreement round, then ``k`` nodes threshold-sign.  A
+        single falsifying node is outvoted (exercised in tests via a
+        corrupted digest).
+        """
+        result = self.executor.execute(criterion)
+        digest = digest_result(sorted(result.glsns))
+        local_digests = {node_id: digest for node_id in self.plan.node_ids}
+        agreed, _ = run_majority_agreement(local_digests)
+        signer_shares = [
+            self.node_shares[node_id]
+            for node_id in self.plan.node_ids[: self.threshold]
+        ]
+        signature = sign_agreed_result(
+            self.threshold_scheme, signer_shares, agreed, self.rng.spawn("sign")
+        )
+        return AuditReport(
+            criterion=criterion,
+            glsns=tuple(result.glsns),
+            digest=agreed,
+            signature=signature,
+            cluster_public_key=self.cluster_public_key,
+        )
+
+    def verify_report(self, report: AuditReport) -> bool:
+        """Anyone can check a released report against the cluster key."""
+        if digest_result(sorted(report.glsns)) != report.digest:
+            return False
+        return self.threshold_scheme.verify(
+            report.cluster_public_key, report.body_bytes(), report.signature
+        )
+
+    def mine_associations(
+        self,
+        attribute_a: str,
+        attribute_b: str,
+        min_support: int = 2,
+        min_confidence: float = 0.0,
+    ):
+        """Confidential cross-node association mining (abstract, ref [20]).
+
+        Returns :class:`~repro.mining.associations.AssociationRule` items
+        for value pairs of the two attributes whose co-occurrence meets
+        the thresholds; sub-threshold values are never revealed.
+        """
+        from repro.mining.associations import mine_cross_associations
+
+        return mine_cross_associations(
+            self.store,
+            self.ctx,
+            attribute_a,
+            attribute_b,
+            min_support=min_support,
+            min_confidence=min_confidence,
+        )
+
+    # -- integrity ------------------------------------------------------------------
+
+    def check_integrity(self, distributed: bool = True) -> list[IntegrityReport]:
+        """§4.1 integrity cross-check of every stored record."""
+        if distributed:
+            return run_integrity_round(self.store)
+        return IntegrityChecker(self.store).check_all()
+
+    # -- introspection ----------------------------------------------------------------
+
+    def cost_snapshot(self) -> dict:
+        """Crypto-op and leakage accounting since service creation."""
+        return {
+            "crypto_ops": self.ctx.crypto_ops.snapshot(),
+            "leakage_events": len(self.ctx.leakage.events),
+            "leakage_categories": sorted(self.ctx.leakage.categories()),
+        }
+
+    def membership_summary(self) -> dict:
+        return {
+            "size": self.membership.size,
+            "chain_length": len(self.membership.chain.pieces),
+            "current_inviter": self.membership.current_inviter_pseudonym,
+        }
+
+    def describe(self) -> str:
+        """Human-readable deployment summary."""
+        body = {
+            "nodes": self.plan.node_ids,
+            "attributes": self.schema.names,
+            "assignment": self.plan.assignment,
+            "threshold": f"{self.threshold}/{len(self.plan.node_ids)}",
+        }
+        return json.dumps(body, indent=2)

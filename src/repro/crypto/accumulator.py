@@ -1,0 +1,120 @@
+"""One-way quasi-commutative accumulator (paper §4.1, eq. 8-9, refs [26][27]).
+
+The construction is Benaloh-de Mare's: over an RSA modulus ``n`` with
+unknown factorization,
+
+    A(x, y) = x^y mod n.
+
+Accumulating a multiset of values ``y_1 .. y_k`` into a base ``x_0`` gives
+``x_0^(y_1 * ... * y_k) mod n`` — independent of order (eq. 9), which is the
+property the DLA integrity cross-check exploits: each DLA node folds in the
+digest of its own fragment as the token circulates the ring, and the final
+value matches the application node's precomputed accumulator no matter which
+ring order was used.
+
+Accumulated values must be odd integers > 1 (even exponents interact with
+the group structure; we map arbitrary byte strings through SHA-256 and force
+the low bit).  The modulus generator (the credential authority in the DLA
+architecture) must discard the factorization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto import primes
+from repro.crypto.rng import system_rng
+from repro.errors import ParameterError
+
+__all__ = ["AccumulatorParams", "OneWayAccumulator", "digest_to_exponent"]
+
+
+def digest_to_exponent(data: bytes, bits: int = 128) -> int:
+    """Map arbitrary bytes to an odd exponent of about ``bits`` bits.
+
+    SHA-256 based; the forced-odd low bit keeps exponents in the units and
+    cannot merge two distinct digests (they would have to differ only in
+    the bit we force, which SHA-256 output does with probability 2^-255).
+    """
+    if bits < 16 or bits > 256:
+        raise ParameterError("exponent size must be in [16, 256] bits")
+    h = hashlib.sha256(b"acc-exp:" + data).digest()
+    value = int.from_bytes(h, "big") >> (256 - bits)
+    return value | 1 | (1 << (bits - 1))
+
+
+@dataclass(frozen=True)
+class AccumulatorParams:
+    """Public parameters: RSA modulus ``n`` and agreed base ``x0``.
+
+    The paper requires ``n`` (product of two primes) and ``x0`` to be agreed
+    in advance by the application and DLA subsystems.
+    """
+
+    n: int
+    x0: int
+
+    def __post_init__(self) -> None:
+        if self.n < 15:
+            raise ParameterError("modulus too small for an accumulator")
+        if not 1 < self.x0 < self.n - 1:
+            raise ParameterError("base x0 must satisfy 1 < x0 < n-1")
+
+    @classmethod
+    def generate(cls, bits: int = 256, rng=None) -> "AccumulatorParams":
+        """Generate fresh parameters, discarding the factorization."""
+        rng = rng or system_rng()
+        n, _p, _q = primes.rsa_modulus(bits, rng=rng)
+        x0 = rng.randrange(2, n - 1)
+        return cls(n=n, x0=x0)
+
+
+class OneWayAccumulator:
+    """Stateful accumulator over fixed :class:`AccumulatorParams`.
+
+    Examples
+    --------
+    >>> params = AccumulatorParams(n=3233 * 5, x0=42)  # doctest: +SKIP
+    >>> acc = OneWayAccumulator(params)
+    >>> a = acc.accumulate_all([b"frag0", b"frag1", b"frag2"])
+    >>> b = acc.accumulate_all([b"frag2", b"frag0", b"frag1"])
+    >>> a == b
+    True
+    """
+
+    def __init__(self, params: AccumulatorParams) -> None:
+        self.params = params
+
+    def step(self, current: int, item: bytes | int) -> int:
+        """One application of eq. 8: ``A(current, y) = current^y mod n``."""
+        exponent = item if isinstance(item, int) else digest_to_exponent(item)
+        if exponent <= 1:
+            raise ParameterError("accumulated exponents must exceed 1")
+        return pow(current, exponent, self.params.n)
+
+    def accumulate_all(self, items: list[bytes | int], start: int | None = None) -> int:
+        """Fold every item into the base (or ``start``), any order-equivalent."""
+        acc = self.params.x0 if start is None else start
+        for item in items:
+            acc = self.step(acc, item)
+        return acc
+
+    def verify(self, items: list[bytes | int], expected: int) -> bool:
+        """Check that accumulating ``items`` reproduces ``expected``."""
+        return self.accumulate_all(items) == expected
+
+    def witness(self, items: list[bytes | int], index: int) -> int:
+        """Membership witness for ``items[index]``: the accumulator of all
+        *other* items.  ``step(witness, items[index]) == accumulate_all(items)``.
+        """
+        if not 0 <= index < len(items):
+            raise ParameterError(f"index {index} out of range")
+        rest = items[:index] + items[index + 1 :]
+        return self.accumulate_all(rest)
+
+    def verify_membership(
+        self, item: bytes | int, witness: int, accumulated: int
+    ) -> bool:
+        """Check ``item`` is a member given its witness and the full value."""
+        return self.step(witness, item) == accumulated

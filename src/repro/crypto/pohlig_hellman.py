@@ -1,0 +1,198 @@
+"""Pohlig-Hellman commutative encryption (paper §3, eq. 6-7, ref [21]).
+
+The cipher encrypts a message ``M`` in ``Z_p^*`` as ``C = M^e mod p`` and
+decrypts with ``M = C^d mod p`` where ``e*d ≡ 1 (mod p-1)``.  Because
+exponentiation composes multiplicatively,
+
+    E_a(E_b(M)) = M^(e_a * e_b) = E_b(E_a(M)),
+
+any set of parties sharing the prime ``p`` can encrypt a message in *any*
+order and decrypt it with the matching keys in *any* order — the property
+eq. 6 requires.  Equation 7 (distinct plaintexts stay distinct) holds because
+``x -> x^e`` is a bijection of ``Z_p^*``.
+
+Two subtleties the paper glosses over, handled here:
+
+* **Plaintext domain.**  Log attribute values are arbitrary bytes/strings,
+  not group elements.  :class:`MessageEncoder` hashes values into
+  ``Z_p^*`` (quadratic-residue subgroup for safe primes, so the image lies
+  in a prime-order group and small-subgroup leakage is avoided).  Hash
+  encoding is one-way; the secure set protocols only ever need equality of
+  encodings, never inversion — parties that hold the plaintext candidate
+  set re-encode to match.  A reversible integer encoder is also provided
+  for numeric payloads that must be recovered (secure union).
+* **Key hygiene.**  Exponents are sampled coprime to ``p - 1`` and, for
+  safe primes, odd exponents are chosen so they are automatically coprime
+  to the factor 2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto import primes
+from repro.crypto.modmath import int_to_bytes, modinv
+from repro.crypto.rng import system_rng
+from repro.errors import ParameterError
+
+__all__ = [
+    "CommutativeKey",
+    "PohligHellmanCipher",
+    "MessageEncoder",
+    "shared_prime",
+]
+
+
+def shared_prime(bits: int = 256, rng=None, fresh: bool = False) -> int:
+    """Return a safe prime suitable as the cluster-wide cipher modulus."""
+    return primes.safe_prime(bits, rng=rng, fresh=fresh)
+
+
+@dataclass(frozen=True)
+class CommutativeKey:
+    """An (e, d) exponent pair for a fixed prime modulus ``p``.
+
+    ``e * d ≡ 1 (mod p - 1)``, so ``(M^e)^d ≡ M (mod p)``.
+    """
+
+    p: int
+    e: int
+    d: int
+
+    def __post_init__(self) -> None:
+        if (self.e * self.d) % (self.p - 1) != 1:
+            raise ParameterError("e*d != 1 mod p-1: not a valid key pair")
+
+    @property
+    def public_modulus(self) -> int:
+        return self.p
+
+
+class PohligHellmanCipher:
+    """Commutative cipher bound to one key pair.
+
+    Instances are cheap; every DLA node builds one per protocol run.
+
+    Examples
+    --------
+    >>> from repro.crypto.rng import DeterministicRng
+    >>> rng = DeterministicRng(7)
+    >>> p = shared_prime(64)
+    >>> a = PohligHellmanCipher.generate(p, rng)
+    >>> b = PohligHellmanCipher.generate(p, rng)
+    >>> m = 123456789
+    >>> a.encrypt(b.encrypt(m)) == b.encrypt(a.encrypt(m))
+    True
+    >>> a.decrypt(b.decrypt(b.encrypt(a.encrypt(m)))) == m
+    True
+    """
+
+    def __init__(self, key: CommutativeKey) -> None:
+        self.key = key
+
+    @classmethod
+    def generate(cls, p: int, rng=None) -> "PohligHellmanCipher":
+        """Generate a fresh key pair for prime modulus ``p``."""
+        rng = rng or system_rng()
+        order = p - 1
+        while True:
+            e = rng.randrange(3, order) | 1  # odd => coprime to the factor 2
+            try:
+                d = modinv(e, order)
+            except ParameterError:
+                continue
+            return cls(CommutativeKey(p=p, e=e, d=d))
+
+    @property
+    def p(self) -> int:
+        return self.key.p
+
+    def _check_element(self, value: int) -> int:
+        value %= self.key.p
+        if value == 0:
+            raise ParameterError("0 is not in Z_p^* and cannot be encrypted")
+        return value
+
+    def encrypt(self, m: int) -> int:
+        """Encrypt a group element: ``C = M^e mod p``."""
+        return pow(self._check_element(m), self.key.e, self.key.p)
+
+    def decrypt(self, c: int) -> int:
+        """Decrypt a group element: ``M = C^d mod p``."""
+        return pow(self._check_element(c), self.key.d, self.key.p)
+
+    def encrypt_set(self, values: list[int]) -> list[int]:
+        """Encrypt every element of a list (order preserved)."""
+        return [self.encrypt(v) for v in values]
+
+    def decrypt_set(self, values: list[int]) -> list[int]:
+        """Decrypt every element of a list (order preserved)."""
+        return [self.decrypt(v) for v in values]
+
+
+class MessageEncoder:
+    """Encode application values into the cipher's plaintext domain.
+
+    Two encodings:
+
+    * :meth:`encode_hashed` — SHA-256 the canonical byte form of the value,
+      reduce into ``Z_p^*`` and square (for a safe prime the squares form
+      the prime-order subgroup of quadratic residues).  One-way; collision
+      probability is negligible for |p| >= 64 bits relative to set sizes
+      here.  This is what the secure set intersection uses: equality of
+      encodings <=> equality of values.
+    * :meth:`encode_int` / :meth:`decode_int` — reversible shift encoding
+      for integers in ``[0, p//4)``; used when the plaintext must be
+      recovered after full decryption (secure set union).
+    """
+
+    def __init__(self, p: int) -> None:
+        if p < 17:
+            raise ParameterError("modulus too small to encode messages")
+        self.p = p
+
+    def _canonical_bytes(self, value) -> bytes:
+        if isinstance(value, bytes):
+            return b"b:" + value
+        if isinstance(value, str):
+            return b"s:" + value.encode("utf-8")
+        if isinstance(value, bool):
+            return b"o:" + (b"1" if value else b"0")
+        if isinstance(value, int):
+            sign = b"-" if value < 0 else b"+"
+            return b"i:" + sign + int_to_bytes(abs(value))
+        raise ParameterError(f"cannot canonically encode {type(value)!r}")
+
+    def encode_hashed(self, value) -> int:
+        """One-way encoding of an arbitrary value into the QR subgroup."""
+        digest = self._canonical_bytes(value)
+        counter = 0
+        while True:
+            h = hashlib.sha256(digest + counter.to_bytes(4, "big")).digest()
+            x = int.from_bytes(h, "big") % self.p
+            if x not in (0, 1, self.p - 1):
+                return pow(x, 2, self.p)
+            counter += 1
+
+    def encode_int(self, value: int) -> int:
+        """Reversible encoding of a small non-negative integer.
+
+        The value is shifted by 2 so that 0 and 1 (fixed points of
+        exponentiation for some exponents) are never used, then squared
+        into the QR subgroup is *not* applied (squaring is not reversible);
+        instead the raw shifted value is used, which is safe because the
+        cipher is a bijection on all of ``Z_p^*``.
+        """
+        if value < 0 or value >= self.p // 4:
+            raise ParameterError(
+                f"reversible encoding requires 0 <= value < p//4, got {value}"
+            )
+        return value + 2
+
+    def decode_int(self, element: int) -> int:
+        """Inverse of :meth:`encode_int`."""
+        value = element - 2
+        if value < 0 or value >= self.p // 4:
+            raise ParameterError(f"element {element} is not a valid int encoding")
+        return value

@@ -1,0 +1,171 @@
+"""Shamir (k, n) secret sharing over a prime field (paper §3.5).
+
+The paper's secure sum builds on each node ``P_i`` choosing a random
+polynomial ``f_i`` of degree ``k-1`` with ``f_i(0) = a_i`` and sending the
+evaluation ``s_ij = f_i(x_j)`` to node ``P_j``.  Summing received shares
+gives every node one share of ``F(z) = Σ f_i(z)``, whose free coefficient is
+the sum of the secrets.  Any ``k`` shares reconstruct ``F`` by Lagrange
+interpolation.
+
+This module provides the polynomial machinery: share generation, Lagrange
+reconstruction (full polynomial and constant-term-only fast path), and
+share-wise addition / scalar multiplication used for weighted sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.modmath import modinv
+from repro.crypto.rng import system_rng
+from repro.errors import ParameterError, SecretSharingError, ThresholdError
+
+__all__ = ["Share", "ShamirScheme"]
+
+
+@dataclass(frozen=True)
+class Share:
+    """One evaluation point ``(x, y)`` of a sharing polynomial mod ``p``."""
+
+    x: int
+    y: int
+    p: int
+
+    def __add__(self, other: "Share") -> "Share":
+        """Pointwise share addition: a share of the *sum* of the secrets.
+
+        Both shares must sit at the same evaluation point in the same field.
+        """
+        if not isinstance(other, Share):
+            return NotImplemented
+        if self.p != other.p:
+            raise SecretSharingError("cannot add shares from different fields")
+        if self.x != other.x:
+            raise SecretSharingError(
+                "cannot add shares at different evaluation points "
+                f"({self.x} vs {other.x})"
+            )
+        return Share(self.x, (self.y + other.y) % self.p, self.p)
+
+    def scale(self, factor: int) -> "Share":
+        """Scalar multiplication: a share of ``factor * secret``."""
+        return Share(self.x, (self.y * factor) % self.p, self.p)
+
+
+class ShamirScheme:
+    """A (k, n) threshold sharing scheme over ``Z_p``.
+
+    Parameters
+    ----------
+    k:
+        Reconstruction threshold (minimum shares needed).
+    n:
+        Number of shares issued.
+    p:
+        Prime field modulus; must exceed every secret and ``n``.
+    xs:
+        Optional fixed evaluation points (the paper has the nodes
+        predetermine non-zero ``x_0 .. x_{n-1}``); defaults to ``1..n``.
+    """
+
+    def __init__(self, k: int, n: int, p: int, xs: list[int] | None = None) -> None:
+        if k < 1:
+            raise ParameterError("threshold k must be at least 1")
+        if n < k:
+            raise ParameterError(f"need n >= k shares, got n={n} < k={k}")
+        if p <= n:
+            raise ParameterError("field must be larger than the share count")
+        if xs is None:
+            xs = list(range(1, n + 1))
+        if len(xs) != n:
+            raise ParameterError(f"expected {n} evaluation points, got {len(xs)}")
+        reduced = [x % p for x in xs]
+        if 0 in reduced:
+            raise ParameterError("evaluation points must be non-zero mod p")
+        if len(set(reduced)) != n:
+            raise ParameterError("evaluation points must be distinct mod p")
+        self.k = k
+        self.n = n
+        self.p = p
+        self.xs = reduced
+
+    def random_polynomial(self, secret: int, rng=None) -> list[int]:
+        """Coefficients ``[a_0 .. a_{k-1}]`` with ``a_0 = secret``."""
+        rng = rng or system_rng()
+        secret %= self.p
+        return [secret] + [rng.randbelow(self.p) for _ in range(self.k - 1)]
+
+    def evaluate(self, coeffs: list[int], x: int) -> int:
+        """Horner evaluation of a coefficient list at ``x`` mod ``p``."""
+        acc = 0
+        for c in reversed(coeffs):
+            acc = (acc * x + c) % self.p
+        return acc
+
+    def share(self, secret: int, rng=None) -> list[Share]:
+        """Split ``secret`` into ``n`` shares, any ``k`` of which recover it."""
+        coeffs = self.random_polynomial(secret, rng)
+        return [Share(x, self.evaluate(coeffs, x), self.p) for x in self.xs]
+
+    def reconstruct(self, shares: list[Share]) -> int:
+        """Recover the secret (``f(0)``) from at least ``k`` shares.
+
+        Uses the Lagrange basis evaluated at zero only, which is O(k^2)
+        instead of full interpolation's O(k^2) with larger constants.
+        """
+        if len(shares) < self.k:
+            raise ThresholdError(
+                f"need at least {self.k} shares, got {len(shares)}"
+            )
+        subset = shares[: self.k]
+        xs = [s.x % self.p for s in subset]
+        if len(set(xs)) != len(xs):
+            raise SecretSharingError("duplicate evaluation points in shares")
+        if any(s.p != self.p for s in subset):
+            raise SecretSharingError("shares come from a different field")
+        secret = 0
+        for i, s_i in enumerate(subset):
+            num, den = 1, 1
+            for j, s_j in enumerate(subset):
+                if i == j:
+                    continue
+                num = (num * (-s_j.x)) % self.p
+                den = (den * (s_i.x - s_j.x)) % self.p
+            secret = (secret + s_i.y * num * modinv(den, self.p)) % self.p
+        return secret
+
+    def interpolate(self, shares: list[Share], x: int) -> int:
+        """Evaluate the unique degree-(k-1) polynomial through ``shares`` at ``x``."""
+        if len(shares) < self.k:
+            raise ThresholdError(
+                f"need at least {self.k} shares, got {len(shares)}"
+            )
+        subset = shares[: self.k]
+        result = 0
+        for i, s_i in enumerate(subset):
+            num, den = 1, 1
+            for j, s_j in enumerate(subset):
+                if i == j:
+                    continue
+                num = (num * (x - s_j.x)) % self.p
+                den = (den * (s_i.x - s_j.x)) % self.p
+            result = (result + s_i.y * num * modinv(den, self.p)) % self.p
+        return result
+
+    @staticmethod
+    def add_shares(per_point_shares: list[list[Share]]) -> list[Share]:
+        """Column-wise addition of share lists.
+
+        ``per_point_shares[i]`` is node ``i``'s full share vector; the result
+        is the share vector of the sum polynomial ``F(z) = Σ f_i(z)`` — the
+        core step of the paper's secure sum.
+        """
+        if not per_point_shares:
+            raise SecretSharingError("no share vectors to add")
+        width = len(per_point_shares[0])
+        if any(len(vec) != width for vec in per_point_shares):
+            raise SecretSharingError("share vectors have differing lengths")
+        totals = per_point_shares[0]
+        for vec in per_point_shares[1:]:
+            totals = [a + b for a, b in zip(totals, vec)]
+        return totals

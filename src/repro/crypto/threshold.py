@@ -1,0 +1,159 @@
+"""(k, n) threshold Schnorr signatures for DLA audit reports.
+
+Paper §2: "DLA nodes use secure multiparty computations, threshold
+signature and distributed majority agreement to provide trusted and
+reliable auditing."  A final audit result is signed by at least ``k`` of the
+``n`` DLA nodes so that no single (possibly compromised) node can forge a
+report.
+
+Construction: a dealer (the credential authority at cluster setup) Shamir-
+shares the signing key ``x``; each node ``i`` holds ``x_i = f(i)``.  To sign,
+a subset ``S`` with ``|S| >= k``:
+
+1. each ``i ∈ S`` samples a nonce ``k_i`` and publishes ``R_i = g^{k_i}``;
+2. everyone computes ``R = Π R_i`` and ``c = H(R ‖ y ‖ msg)``;
+3. each ``i`` sends the partial ``s_i = k_i - c · λ_i(S) · x_i mod q`` where
+   ``λ_i(S)`` is the Lagrange coefficient of ``i`` at zero over ``S``;
+4. ``s = Σ s_i``; the pair ``(c, s)`` is an ordinary Schnorr signature
+   under the cluster public key ``y = g^x``.
+
+This is the textbook dealer-based scheme — adequate for the honest-but-
+curious DLA threat model (the paper's); it is not robust against malicious
+nonce biasing (a production system would use FROST-style commitments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.modmath import modinv
+from repro.crypto.rng import system_rng
+from repro.crypto.schnorr import SchnorrGroup, SchnorrSignature, SchnorrSigner
+from repro.crypto.shamir import ShamirScheme
+from repro.errors import ParameterError, ThresholdError
+
+__all__ = ["ThresholdKeyShare", "ThresholdScheme", "PartialSignature"]
+
+
+@dataclass(frozen=True)
+class ThresholdKeyShare:
+    """One node's share of the cluster signing key."""
+
+    index: int        # the Shamir evaluation point (1-based node index)
+    value: int        # x_i = f(index) mod q
+    public_y: int     # cluster public key g^x (same for every share)
+
+
+@dataclass(frozen=True)
+class PartialSignature:
+    """One node's contribution in round 2 of threshold signing."""
+
+    index: int
+    s_i: int
+
+
+class ThresholdScheme:
+    """Dealer, coordinator and verifier roles for threshold Schnorr."""
+
+    def __init__(self, group: SchnorrGroup, k: int, n: int) -> None:
+        if k < 1 or n < k:
+            raise ParameterError(f"invalid threshold parameters k={k}, n={n}")
+        self.group = group
+        self.k = k
+        self.n = n
+        self._shamir = ShamirScheme(k=k, n=n, p=group.q)
+
+    def deal(self, rng=None) -> tuple[int, list[ThresholdKeyShare]]:
+        """Generate a key, share it; return ``(public_y, shares)``.
+
+        The dealer must erase ``x`` after dealing; we never return it.
+        """
+        rng = rng or system_rng()
+        x = self.group.random_scalar(rng)
+        public_y = pow(self.group.g, x, self.group.p)
+        shares = self._shamir.share(x, rng=rng)
+        return public_y, [
+            ThresholdKeyShare(index=s.x, value=s.y, public_y=public_y)
+            for s in shares
+        ]
+
+    def lagrange_at_zero(self, indices: list[int]) -> dict[int, int]:
+        """Lagrange coefficients λ_i(S) at zero over subset ``indices`` mod q."""
+        q = self.group.q
+        if len(set(indices)) != len(indices):
+            raise ParameterError("duplicate signer indices")
+        coeffs: dict[int, int] = {}
+        for i in indices:
+            num, den = 1, 1
+            for j in indices:
+                if j == i:
+                    continue
+                num = (num * (-j)) % q
+                den = (den * (i - j)) % q
+            coeffs[i] = (num * modinv(den, q)) % q
+        return coeffs
+
+    def nonce_round(self, signer_indices: list[int], rng=None) -> tuple[dict[int, int], int]:
+        """Round 1: per-signer nonces and the combined commitment ``R``.
+
+        Returns ``(nonces, R)`` where ``nonces[i] = k_i``.  In a networked
+        run each node keeps its own ``k_i``; this helper centralizes them
+        for in-process simulation.
+        """
+        if len(signer_indices) < self.k:
+            raise ThresholdError(
+                f"need {self.k} signers, got {len(signer_indices)}"
+            )
+        rng = rng or system_rng()
+        nonces = {i: self.group.random_scalar(rng) for i in signer_indices}
+        r = 1
+        for k_i in nonces.values():
+            r = (r * pow(self.group.g, k_i, self.group.p)) % self.group.p
+        return nonces, r
+
+    def partial_sign(
+        self,
+        share: ThresholdKeyShare,
+        nonce: int,
+        challenge: int,
+        lagrange: int,
+    ) -> PartialSignature:
+        """Round 2: one node's partial signature."""
+        s_i = (nonce - challenge * lagrange * share.value) % self.group.q
+        return PartialSignature(index=share.index, s_i=s_i)
+
+    def combine(
+        self, challenge: int, partials: list[PartialSignature]
+    ) -> SchnorrSignature:
+        """Aggregate partials into a standard Schnorr signature."""
+        if len(partials) < self.k:
+            raise ThresholdError(
+                f"need {self.k} partial signatures, got {len(partials)}"
+            )
+        s = sum(p.s_i for p in partials) % self.group.q
+        return SchnorrSignature(c=challenge, s=s)
+
+    def sign(
+        self,
+        shares: list[ThresholdKeyShare],
+        message: bytes,
+        rng=None,
+    ) -> SchnorrSignature:
+        """Run the full signing protocol in-process with the given shares."""
+        if len(shares) < self.k:
+            raise ThresholdError(f"need {self.k} shares, got {len(shares)}")
+        subset = shares[: self.k]
+        indices = [s.index for s in subset]
+        nonces, r = self.nonce_round(indices, rng=rng)
+        public_y = subset[0].public_y
+        challenge = self.group.hash_to_scalar(r, public_y, message)
+        lagrange = self.lagrange_at_zero(indices)
+        partials = [
+            self.partial_sign(s, nonces[s.index], challenge, lagrange[s.index])
+            for s in subset
+        ]
+        return self.combine(challenge, partials)
+
+    def verify(self, public_y: int, message: bytes, sig: SchnorrSignature) -> bool:
+        """Threshold signatures verify as ordinary Schnorr signatures."""
+        return SchnorrSigner(self.group).verify(public_y, message, sig)

@@ -1,0 +1,111 @@
+"""Global log sequence number allocation (paper §2 eq. 5, §4).
+
+"glsn is a monotonically increasing integer that uniquely defines a log
+record" and "the glsn is uniquely assigned by [the] DLA cluster".
+
+Two allocators:
+
+* :class:`GlsnAllocator` — a single authority handing out consecutive
+  values, the simple case for one coordinator node.
+* :class:`BlockGlsnAllocator` — cluster mode: each DLA node leases disjoint
+  blocks from a shared counter and allocates locally within its lease, so
+  concurrent nodes never collide and the global order is still monotone
+  per-node with bounded interleaving.  This mirrors how distributed
+  databases allocate sequence numbers without a per-write round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, LogStoreError
+
+__all__ = ["GlsnAllocator", "BlockGlsnAllocator", "GlsnBlock"]
+
+# The paper's Table 1 starts its example glsns at 0x139aef78; using the same
+# origin makes the regenerated tables byte-identical.
+PAPER_GLSN_START = 0x139AEF78
+
+
+class GlsnAllocator:
+    """Monotone unique allocator owned by a single authority."""
+
+    def __init__(self, start: int = PAPER_GLSN_START) -> None:
+        if start < 0:
+            raise ConfigurationError("glsn start must be non-negative")
+        self._next = start
+
+    def allocate(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def allocate_many(self, count: int) -> list[int]:
+        if count < 0:
+            raise ConfigurationError("cannot allocate a negative count")
+        values = list(range(self._next, self._next + count))
+        self._next += count
+        return values
+
+    @property
+    def next_value(self) -> int:
+        return self._next
+
+
+@dataclass
+class GlsnBlock:
+    """A leased half-open range ``[start, end)`` of glsns."""
+
+    start: int
+    end: int
+    cursor: int = -1
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError("empty glsn block")
+        if self.cursor < 0:
+            self.cursor = self.start
+
+    @property
+    def remaining(self) -> int:
+        return self.end - self.cursor
+
+    def take(self) -> int:
+        if self.cursor >= self.end:
+            raise LogStoreError("glsn block exhausted")
+        value = self.cursor
+        self.cursor += 1
+        return value
+
+
+class BlockGlsnAllocator:
+    """Cluster-mode allocation: nodes lease blocks, allocate locally.
+
+    The shared counter lives with the cluster coordinator; each
+    :meth:`lease` costs one round trip and yields ``block_size`` local
+    allocations.  Uniqueness holds because leased ranges are disjoint.
+    """
+
+    def __init__(self, start: int = PAPER_GLSN_START, block_size: int = 64) -> None:
+        if block_size < 1:
+            raise ConfigurationError("block size must be positive")
+        self._shared = GlsnAllocator(start)
+        self.block_size = block_size
+        self._blocks: dict[str, GlsnBlock] = {}
+        self.leases_granted = 0
+
+    def lease(self, node_id: str) -> GlsnBlock:
+        """Grant a fresh block to ``node_id`` (replacing any exhausted one)."""
+        start = self._shared.next_value
+        self._shared.allocate_many(self.block_size)
+        block = GlsnBlock(start=start, end=start + self.block_size)
+        self._blocks[node_id] = block
+        self.leases_granted += 1
+        return block
+
+    def allocate(self, node_id: str) -> int:
+        """Allocate one glsn on behalf of ``node_id``, leasing as needed."""
+        block = self._blocks.get(node_id)
+        if block is None or block.remaining == 0:
+            block = self.lease(node_id)
+        return block.take()

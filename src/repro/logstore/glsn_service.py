@@ -1,0 +1,138 @@
+"""Networked glsn coordination: cluster-unique allocation (paper §4).
+
+"The glsn is uniquely assigned by [the] DLA cluster."  In a deployment
+the cluster needs a wire protocol, not just an in-process counter:
+
+* one DLA node acts as the **glsn coordinator** (the paper's cluster is
+  mutually monitored; the coordinator's grants are plain integers any
+  node can later audit for overlap);
+* other nodes lease disjoint blocks with a single request/response and
+  then allocate locally from their lease (no per-write round trip);
+* :func:`audit_grants` detects a misbehaving coordinator that hands out
+  overlapping blocks — the mutual-monitoring counterpart of §4.1.
+
+Message kinds: ``glsn.lease`` (request), ``glsn.grant`` (response).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LogStoreError, ProtocolAbortError
+from repro.logstore.glsn import PAPER_GLSN_START, GlsnBlock
+from repro.net.message import Message
+
+__all__ = ["GlsnCoordinator", "GlsnClient", "audit_grants"]
+
+
+@dataclass(frozen=True)
+class _Grant:
+    node_id: str
+    start: int
+    end: int
+
+
+class GlsnCoordinator:
+    """The coordinator role: grants disjoint half-open glsn ranges."""
+
+    def __init__(
+        self,
+        node_id: str,
+        start: int = PAPER_GLSN_START,
+        block_size: int = 64,
+    ) -> None:
+        if block_size < 1:
+            raise LogStoreError("block size must be positive")
+        self.node_id = node_id
+        self.block_size = block_size
+        self._next = start
+        self.grants: list[_Grant] = []
+
+    def handle(self, msg: Message, transport) -> None:
+        if msg.kind != "glsn.lease":
+            raise ProtocolAbortError(f"coordinator got unexpected {msg.kind!r}")
+        requested = msg.payload.get("count") or self.block_size
+        grant = _Grant(node_id=msg.src, start=self._next, end=self._next + requested)
+        self._next = grant.end
+        self.grants.append(grant)
+        transport.send(
+            Message(
+                src=self.node_id,
+                dst=msg.src,
+                kind="glsn.grant",
+                payload={"start": grant.start, "end": grant.end},
+            )
+        )
+
+    def grant_log(self) -> list[tuple[str, int, int]]:
+        """Auditable record of every grant made."""
+        return [(g.node_id, g.start, g.end) for g in self.grants]
+
+
+@dataclass
+class GlsnClient:
+    """A DLA node's allocation client: lease blocks, allocate locally."""
+
+    node_id: str
+    coordinator_id: str
+    block_size: int = 64
+    _block: GlsnBlock | None = field(default=None, init=False)
+    _pending: bool = field(default=False, init=False)
+    allocations: int = field(default=0, init=False)
+
+    def request_lease(self, transport, count: int | None = None) -> None:
+        """Ask the coordinator for a fresh block."""
+        self._pending = True
+        transport.send(
+            Message(
+                src=self.node_id,
+                dst=self.coordinator_id,
+                kind="glsn.lease",
+                payload={"count": count or self.block_size},
+            )
+        )
+
+    def handle(self, msg: Message, transport) -> None:
+        if msg.kind != "glsn.grant":
+            raise ProtocolAbortError(f"client got unexpected {msg.kind!r}")
+        self._block = GlsnBlock(start=msg.payload["start"], end=msg.payload["end"])
+        self._pending = False
+
+    @property
+    def has_lease(self) -> bool:
+        return self._block is not None and self._block.remaining > 0
+
+    @property
+    def remaining(self) -> int:
+        return self._block.remaining if self._block else 0
+
+    def allocate(self) -> int:
+        """Allocate one glsn from the current lease.
+
+        Raises
+        ------
+        LogStoreError
+            If no lease is held or the lease is exhausted — the caller
+            must ``request_lease`` and drain the network first.
+        """
+        if self._block is None or self._block.remaining == 0:
+            raise LogStoreError(
+                f"{self.node_id} has no usable glsn lease; request one first"
+            )
+        self.allocations += 1
+        return self._block.take()
+
+
+def audit_grants(grants: list[tuple[str, int, int]]) -> list[tuple[int, int]]:
+    """Mutual monitoring: find overlapping grant ranges.
+
+    Returns the list of overlapping ``(start, end)`` intersections — empty
+    for an honest coordinator.  Any node can run this over the published
+    grant log.
+    """
+    overlaps = []
+    ordered = sorted(grants, key=lambda g: g[1])
+    for (_, a_start, a_end), (_, b_start, b_end) in zip(ordered, ordered[1:]):
+        if b_start < a_end:
+            overlaps.append((b_start, min(a_end, b_end)))
+    return overlaps

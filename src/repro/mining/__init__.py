@@ -1,0 +1,29 @@
+"""Confidential distributed data mining over the DLA cluster.
+
+The paper's abstract promises "a relaxed type of multiparty private
+computations and distributed data mining"; ref [20] (Clifton et al.,
+*Tools for Privacy Preserving Distributed Data Mining*) supplies the
+toolbox.  This package implements the two pieces the DLA setting needs:
+
+* :func:`~repro.mining.size_protocol.secure_intersection_size` — the
+  commutative-encryption protocol for the *cardinality* of a set
+  intersection (overlap count without overlap membership);
+* :func:`~repro.mining.associations.mine_cross_associations` —
+  confidential association-rule mining between attributes held by
+  different DLA nodes, revealing only rules above the support threshold.
+"""
+
+from repro.mining.associations import (
+    AssociationRule,
+    ValueGroups,
+    mine_cross_associations,
+)
+from repro.mining.size_protocol import SizeParty, secure_intersection_size
+
+__all__ = [
+    "secure_intersection_size",
+    "SizeParty",
+    "mine_cross_associations",
+    "AssociationRule",
+    "ValueGroups",
+]

@@ -1,0 +1,123 @@
+"""Wire codec: length-prefixed JSON framing with big-int support.
+
+The real-socket transport and the simulated network share one encoding so
+byte counts are comparable.  JSON is the body format; Python's arbitrary-
+precision ints (ciphertexts, shares, commitments routinely exceed 2^64) are
+encoded losslessly as ``{"__bigint__": "<hex>"}`` wrappers, and ``bytes`` as
+``{"__bytes__": "<hex>"}``.  Frames are ``4-byte big-endian length || body``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import CodecError
+from repro.net.message import Message
+
+__all__ = ["encode_message", "decode_message", "encode_frame", "decode_frames", "encoded_size"]
+
+_MAX_FRAME = 64 * 1024 * 1024  # 64 MiB guard against corrupted length prefixes
+_JSON_SAFE_INT = 1 << 53       # beyond this, ints round-trip unreliably via JSON readers
+
+
+def _pack(value: Any) -> Any:
+    """Recursively wrap big ints and bytes into JSON-safe structures."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        if -_JSON_SAFE_INT < value < _JSON_SAFE_INT:
+            return value
+        sign = "-" if value < 0 else ""
+        return {"__bigint__": sign + format(abs(value), "x")}
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, (list, tuple)):
+        return [_pack(v) for v in value]
+    if isinstance(value, dict):
+        packed = {}
+        for key, val in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"message dict keys must be str, got {key!r}")
+            if key in ("__bigint__", "__bytes__"):
+                raise CodecError(f"reserved key {key!r} in payload")
+            packed[key] = _pack(val)
+        return packed
+    if value is None or isinstance(value, (str, float)):
+        return value
+    raise CodecError(f"cannot encode value of type {type(value)!r}")
+
+
+def _unpack(value: Any) -> Any:
+    """Inverse of :func:`_pack`."""
+    if isinstance(value, list):
+        return [_unpack(v) for v in value]
+    if isinstance(value, dict):
+        if set(value) == {"__bigint__"}:
+            text = value["__bigint__"]
+            negative = text.startswith("-")
+            return -int(text[1:], 16) if negative else int(text, 16)
+        if set(value) == {"__bytes__"}:
+            return bytes.fromhex(value["__bytes__"])
+        return {k: _unpack(v) for k, v in value.items()}
+    return value
+
+
+def encode_message(msg: Message) -> bytes:
+    """Serialize a message body (without frame header)."""
+    try:
+        body = {
+            "src": msg.src,
+            "dst": msg.dst,
+            "kind": msg.kind,
+            "seq": msg.seq,
+            "payload": _pack(msg.payload),
+        }
+        return json.dumps(body, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"failed to encode message {msg.kind!r}: {exc}") from exc
+
+
+def decode_message(data: bytes) -> Message:
+    """Deserialize a message body produced by :func:`encode_message`."""
+    try:
+        body = json.loads(data.decode("utf-8"))
+        msg = Message(
+            src=body["src"],
+            dst=body["dst"],
+            kind=body["kind"],
+            payload=_unpack(body.get("payload")),
+        )
+        msg.seq = body.get("seq", msg.seq)
+        msg.size_bytes = len(data)
+        return msg
+    except (KeyError, ValueError, UnicodeDecodeError) as exc:
+        raise CodecError(f"failed to decode message: {exc}") from exc
+
+
+def encode_frame(msg: Message) -> bytes:
+    """Serialize with a 4-byte length prefix for stream transports."""
+    body = encode_message(msg)
+    if len(body) > _MAX_FRAME:
+        raise CodecError(f"frame too large: {len(body)} bytes")
+    return len(body).to_bytes(4, "big") + body
+
+
+def decode_frames(buffer: bytearray) -> list[Message]:
+    """Pull every complete frame out of ``buffer`` (consumed in place)."""
+    messages = []
+    while len(buffer) >= 4:
+        length = int.from_bytes(buffer[:4], "big")
+        if length > _MAX_FRAME:
+            raise CodecError(f"frame length {length} exceeds limit")
+        if len(buffer) < 4 + length:
+            break
+        body = bytes(buffer[4 : 4 + length])
+        del buffer[: 4 + length]
+        messages.append(decode_message(body))
+    return messages
+
+
+def encoded_size(msg: Message) -> int:
+    """Byte size of the message on the wire (body only, no frame header)."""
+    return len(encode_message(msg))

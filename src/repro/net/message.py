@@ -1,0 +1,69 @@
+"""Message model for the DLA network substrate.
+
+Every protocol in the library — ring-routed commutative encryption, share
+distribution, accumulator circulation, join handshakes — exchanges
+:class:`Message` objects.  A message is addressed node-to-node, carries a
+``kind`` tag that receivers dispatch on, an arbitrary JSON-serializable
+``payload``, and bookkeeping fields filled in by the transport (sequence
+number, virtual send/deliver times, size in bytes).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "NodeId"]
+
+NodeId = str
+
+_sequence = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One unit of network traffic.
+
+    Attributes
+    ----------
+    src, dst:
+        Node identifiers (strings; e.g. ``"P0"``, ``"u3"``, ``"ttp"``).
+    kind:
+        Protocol-level tag, e.g. ``"ssi.relay"``, ``"sum.share"``.
+    payload:
+        JSON-serializable body.  Conventionally a dict.
+    seq:
+        Globally unique message sequence number (assigned at creation).
+    sent_at, delivered_at:
+        Virtual-clock timestamps stamped by the simulated network; remain
+        ``None`` on transports without a virtual clock.
+    size_bytes:
+        Encoded size, stamped by the transport for cost accounting.
+    """
+
+    src: NodeId
+    dst: NodeId
+    kind: str
+    payload: Any = None
+    seq: int = field(default_factory=lambda: next(_sequence))
+    sent_at: float | None = None
+    delivered_at: float | None = None
+    size_bytes: int = 0
+
+    def reply(self, kind: str, payload: Any = None) -> "Message":
+        """Construct a response addressed back to this message's sender."""
+        return Message(src=self.dst, dst=self.src, kind=kind, payload=payload)
+
+    def forwarded(self, new_dst: NodeId, payload: Any = None) -> "Message":
+        """Construct a relay of this message from its receiver to ``new_dst``.
+
+        Used by ring protocols: each hop re-addresses the (re-encrypted)
+        payload to the next node.
+        """
+        return Message(
+            src=self.dst,
+            dst=new_dst,
+            kind=self.kind,
+            payload=self.payload if payload is None else payload,
+        )

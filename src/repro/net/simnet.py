@@ -1,0 +1,181 @@
+"""Event-driven simulated network with a virtual clock.
+
+This is the default substrate the protocols run on.  It delivers messages
+in virtual-time order through per-link latency and bandwidth models, counts
+every message/byte (see :mod:`repro.net.stats`), and consults an optional
+:class:`~repro.net.faults.FaultPlan` on each send.
+
+The paper assumes "message routing is handled by the lower network layer";
+``SimNetwork`` *is* that layer.  Substitution note (DESIGN.md): the paper
+deployed on dedicated appliance nodes; every protocol here is written
+against the abstract ``send/handler`` interface, so the identical protocol
+code also runs over real sockets (:mod:`repro.net.transport_tcp`).
+
+Usage::
+
+    net = SimNetwork()
+    net.register("P0", handler_p0)   # handler: (Message, SimNetwork) -> None
+    net.register("P1", handler_p1)
+    net.send(Message("P0", "P1", "ping", {"x": 1}))
+    net.run()                         # drain the event queue
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError, NodeUnreachableError
+from repro.net.codec import encoded_size
+from repro.net.faults import FaultPlan
+from repro.net.message import Message, NodeId
+from repro.net.stats import NetworkStats
+
+__all__ = ["LinkModel", "SimNetwork"]
+
+Handler = Callable[[Message, "SimNetwork"], None]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Latency/bandwidth model for one link (or the default for all links).
+
+    Delivery time = ``latency + size_bytes / bandwidth`` (seconds of
+    virtual time); ``bandwidth`` is bytes per virtual second.
+    """
+
+    latency: float = 0.001
+    bandwidth: float = 125_000_000.0  # ~1 Gbit/s
+
+    def delay_for(self, size_bytes: int) -> float:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ConfigurationError("invalid link model")
+        return self.latency + size_bytes / self.bandwidth
+
+
+class SimNetwork:
+    """Deterministic discrete-event message network."""
+
+    def __init__(
+        self,
+        default_link: LinkModel | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        self.default_link = default_link or LinkModel()
+        self.faults = faults
+        self.stats = NetworkStats()
+        self.now = 0.0
+        self._handlers: dict[NodeId, Handler] = {}
+        self._links: dict[tuple[NodeId, NodeId], LinkModel] = {}
+        self._queue: list[tuple[float, int, Message]] = []
+        self._tiebreak = itertools.count()
+        self._delivered_log: list[Message] = []
+        self.keep_delivery_log = False
+
+    # -- wiring -----------------------------------------------------------
+
+    def register(self, node_id: NodeId, handler: Handler) -> None:
+        """Attach a node's message handler.  Re-registering replaces it."""
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: NodeId) -> None:
+        self._handlers.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> list[NodeId]:
+        return sorted(self._handlers)
+
+    def set_link(self, src: NodeId, dst: NodeId, model: LinkModel) -> None:
+        """Override the link model for one directed pair."""
+        self._links[(src, dst)] = model
+
+    def link_for(self, src: NodeId, dst: NodeId) -> LinkModel:
+        return self._links.get((src, dst), self.default_link)
+
+    # -- traffic ----------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Enqueue a message for future delivery.
+
+        Unknown destinations raise immediately — a misrouted protocol is a
+        bug we want loud, not a silent drop.
+        """
+        if msg.dst not in self._handlers:
+            raise NodeUnreachableError(f"no node registered as {msg.dst!r}")
+        size = encoded_size(msg)
+        msg.size_bytes = size
+        msg.sent_at = self.now
+
+        extra_delay = 0.0
+        copies = 1
+        if self.faults is not None:
+            decision = self.faults.decide(msg)
+            if decision.drop:
+                self.stats.record_drop()
+                return
+            extra_delay = decision.extra_delay
+            if decision.duplicate:
+                copies = 2
+
+        delay = self.link_for(msg.src, msg.dst).delay_for(size) + extra_delay
+        for _ in range(copies):
+            heapq.heappush(
+                self._queue, (self.now + delay, next(self._tiebreak), msg)
+            )
+
+    def broadcast(self, src: NodeId, kind: str, payload, exclude: set[NodeId] | None = None) -> None:
+        """Send one copy of ``payload`` from ``src`` to every other node."""
+        exclude = exclude or set()
+        for node_id in self.node_ids:
+            if node_id == src or node_id in exclude:
+                continue
+            self.send(Message(src=src, dst=node_id, kind=kind, payload=payload))
+
+    # -- event loop --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Deliver the single earliest queued message.  Returns False if idle."""
+        if not self._queue:
+            return False
+        deliver_at, _tie, msg = heapq.heappop(self._queue)
+        self.now = max(self.now, deliver_at)
+        msg.delivered_at = self.now
+        handler = self._handlers.get(msg.dst)
+        if handler is None:
+            # Node unregistered after the send (crash mid-flight).
+            self.stats.record_drop()
+            return True
+        self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
+        if self.keep_delivery_log:
+            self._delivered_log.append(msg)
+        handler(msg, self)
+        return True
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Drain the queue; returns the number of deliveries made.
+
+        ``max_steps`` guards against protocol bugs that generate traffic
+        forever.
+        """
+        steps = 0
+        while self.step():
+            steps += 1
+            if steps >= max_steps:
+                raise ConfigurationError(
+                    f"network did not quiesce within {max_steps} deliveries"
+                )
+        return steps
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def delivery_log(self) -> list[Message]:
+        """Messages delivered so far (only if ``keep_delivery_log`` is set)."""
+        return list(self._delivered_log)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

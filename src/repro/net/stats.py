@@ -1,0 +1,113 @@
+"""Traffic and cost accounting.
+
+The paper's central quantitative claim is that *relaxed* secure multiparty
+computation is drastically cheaper than classical MPC.  To measure that
+claim we count everything: messages, bytes, per-kind breakdowns, and crypto
+operations (modular exponentiations dominate).  Every transport owns a
+:class:`NetworkStats`; SMC protocols additionally report into a
+:class:`CryptoOpCounter`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkStats", "CryptoOpCounter", "CostReport"]
+
+
+@dataclass
+class NetworkStats:
+    """Counters a transport updates on every delivery."""
+
+    messages: int = 0
+    bytes: int = 0
+    dropped: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+    by_link: Counter = field(default_factory=Counter)
+
+    def record(self, kind: str, size: int, src: str, dst: str) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.by_kind[kind] += 1
+        self.bytes_by_kind[kind] += size
+        self.by_link[(src, dst)] += 1
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.dropped = 0
+        self.by_kind.clear()
+        self.bytes_by_kind.clear()
+        self.by_link.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy for logging / assertions."""
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "dropped": self.dropped,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+@dataclass
+class CryptoOpCounter:
+    """Counts of expensive cryptographic operations, by label."""
+
+    ops: Counter = field(default_factory=Counter)
+
+    def add(self, label: str, count: int = 1) -> None:
+        self.ops[label] += count
+
+    @property
+    def modexp(self) -> int:
+        """Total modular exponentiations (the dominant cost everywhere).
+
+        Protocols record both per-party keys (``P0.modexp``) and a running
+        ``total.modexp``; when the total key exists it is authoritative
+        (summing everything would double-count).
+        """
+        if "total.modexp" in self.ops:
+            return self.ops["total.modexp"]
+        return sum(v for k, v in self.ops.items() if k.endswith("modexp"))
+
+    def reset(self) -> None:
+        self.ops.clear()
+
+    def snapshot(self) -> dict:
+        return dict(self.ops)
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """A combined, immutable cost summary returned by protocol runs."""
+
+    messages: int
+    bytes: int
+    crypto_ops: dict
+    virtual_time: float = 0.0
+
+    @classmethod
+    def collect(
+        cls,
+        net_stats: NetworkStats,
+        crypto: CryptoOpCounter | None = None,
+        virtual_time: float = 0.0,
+    ) -> "CostReport":
+        return cls(
+            messages=net_stats.messages,
+            bytes=net_stats.bytes,
+            crypto_ops=crypto.snapshot() if crypto else {},
+            virtual_time=virtual_time,
+        )
+
+    @property
+    def modexp(self) -> int:
+        if "total.modexp" in self.crypto_ops:
+            return self.crypto_ops["total.modexp"]
+        return sum(v for k, v in self.crypto_ops.items() if k.endswith("modexp"))

@@ -1,0 +1,84 @@
+"""Topology helpers: rings, stars, and routing orders for SMC protocols.
+
+The commutative-cipher protocols route sets around a *ring* of DLA nodes;
+blind-TTP protocols use a *star* centered on the TTP.  This module computes
+those orders and provides NetworkX adapters for richer experiments (e.g.
+latency-weighted ring orders).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.net.message import NodeId
+
+__all__ = ["ring_order", "next_on_ring", "star_center", "latency_ring", "ring_graph"]
+
+
+def ring_order(nodes: list[NodeId], start: NodeId | None = None) -> list[NodeId]:
+    """Canonical ring order: sorted node ids, rotated to begin at ``start``."""
+    if not nodes:
+        raise ConfigurationError("a ring needs at least one node")
+    ordered = sorted(nodes)
+    if start is None:
+        return ordered
+    if start not in ordered:
+        raise ConfigurationError(f"start node {start!r} not in ring")
+    idx = ordered.index(start)
+    return ordered[idx:] + ordered[:idx]
+
+
+def next_on_ring(nodes: list[NodeId], current: NodeId) -> NodeId:
+    """Successor of ``current`` on the canonical ring."""
+    ordered = sorted(nodes)
+    try:
+        idx = ordered.index(current)
+    except ValueError as exc:
+        raise ConfigurationError(f"{current!r} is not on the ring") from exc
+    return ordered[(idx + 1) % len(ordered)]
+
+
+def star_center(nodes: list[NodeId], center: NodeId) -> list[tuple[NodeId, NodeId]]:
+    """Spoke list ``(leaf, center)`` for a star topology."""
+    if center not in nodes:
+        raise ConfigurationError(f"center {center!r} not among nodes")
+    return [(n, center) for n in sorted(nodes) if n != center]
+
+
+def ring_graph(nodes: list[NodeId]) -> nx.DiGraph:
+    """Directed cycle graph over the canonical ring order."""
+    ordered = ring_order(nodes)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(ordered)
+    for i, node in enumerate(ordered):
+        graph.add_edge(node, ordered[(i + 1) % len(ordered)])
+    return graph
+
+
+def latency_ring(latencies: dict[tuple[NodeId, NodeId], float]) -> list[NodeId]:
+    """Approximate minimum-latency ring (greedy TSP) over measured links.
+
+    ``latencies`` maps directed pairs to link latency; missing pairs get the
+    symmetric value or a large penalty.  Used by the ablation bench that
+    compares canonical vs latency-aware ring orders.
+    """
+    nodes = sorted({a for a, _ in latencies} | {b for _, b in latencies})
+    if not nodes:
+        raise ConfigurationError("no nodes in latency map")
+
+    def cost(a: NodeId, b: NodeId) -> float:
+        if (a, b) in latencies:
+            return latencies[(a, b)]
+        if (b, a) in latencies:
+            return latencies[(b, a)]
+        return 1e9
+
+    order = [nodes[0]]
+    remaining = set(nodes[1:])
+    while remaining:
+        here = order[-1]
+        nearest = min(remaining, key=lambda n: cost(here, n))
+        order.append(nearest)
+        remaining.discard(nearest)
+    return order

@@ -1,0 +1,187 @@
+"""Real-socket transport: the same message interface over localhost TCP.
+
+The paper's repro path is "simple sockets"; this module provides it.  Each
+:class:`TcpNode` binds a listening socket, runs a reader thread per peer
+connection, and hands decoded :class:`~repro.net.message.Message` objects to
+the same ``handler(msg, transport)`` signature the simulator uses — so any
+protocol written for :class:`~repro.net.simnet.SimNetwork` runs unmodified
+over TCP (the integration tests do exactly that).
+
+A :class:`TcpCluster` convenience spins up N nodes on ephemeral ports and
+wires a shared address book.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Callable
+
+from repro.errors import NodeUnreachableError, TransportClosedError
+from repro.net.codec import decode_frames, encode_frame
+from repro.net.message import Message, NodeId
+from repro.net.stats import NetworkStats
+
+__all__ = ["TcpNode", "TcpCluster"]
+
+Handler = Callable[[Message, "TcpNode"], None]
+
+_RECV_CHUNK = 65536
+
+
+class TcpNode:
+    """One networked participant: a listener plus outbound connections."""
+
+    def __init__(self, node_id: NodeId, handler: Handler | None = None) -> None:
+        self.node_id = node_id
+        self.stats = NetworkStats()
+        self._handler = handler
+        self._address_book: dict[NodeId, tuple[str, int]] = {}
+        self._outbound: dict[NodeId, socket.socket] = {}
+        self._outbound_lock = threading.Lock()
+        self._inbox: queue.Queue[Message] = queue.Queue()
+        self._closed = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(64)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"tcp-accept-{node_id}", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- wiring -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._listener.getsockname()
+
+    def set_handler(self, handler: Handler) -> None:
+        self._handler = handler
+
+    def learn_peers(self, address_book: dict[NodeId, tuple[str, int]]) -> None:
+        """Install the cluster address book (node id -> (host, port))."""
+        self._address_book.update(address_book)
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Send one framed message, connecting lazily on first use."""
+        if self._closed.is_set():
+            raise TransportClosedError(f"{self.node_id} is closed")
+        if msg.dst not in self._address_book:
+            raise NodeUnreachableError(f"unknown peer {msg.dst!r}")
+        frame = encode_frame(msg)
+        msg.size_bytes = len(frame) - 4
+        with self._outbound_lock:
+            sock = self._outbound.get(msg.dst)
+            if sock is None:
+                sock = socket.create_connection(
+                    self._address_book[msg.dst], timeout=10.0
+                )
+                self._outbound[msg.dst] = sock
+            try:
+                sock.sendall(frame)
+            except OSError:
+                # One reconnect attempt: the peer may have restarted.
+                sock.close()
+                sock = socket.create_connection(
+                    self._address_book[msg.dst], timeout=10.0
+                )
+                self._outbound[msg.dst] = sock
+                sock.sendall(frame)
+        self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
+
+    # -- receiving --------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._reader_loop,
+                args=(conn,),
+                name=f"tcp-read-{self.node_id}",
+                daemon=True,
+            ).start()
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        buffer = bytearray()
+        with conn:
+            while not self._closed.is_set():
+                try:
+                    chunk = conn.recv(_RECV_CHUNK)
+                except OSError:
+                    return
+                if not chunk:
+                    return
+                buffer.extend(chunk)
+                for msg in decode_frames(buffer):
+                    self._dispatch(msg)
+
+    def _dispatch(self, msg: Message) -> None:
+        if self._handler is not None:
+            self._handler(msg, self)
+        else:
+            self._inbox.put(msg)
+
+    def receive(self, timeout: float = 10.0) -> Message:
+        """Blocking receive for handler-less (pull-style) usage."""
+        try:
+            return self._inbox.get(timeout=timeout)
+        except queue.Empty as exc:
+            raise TransportClosedError(
+                f"{self.node_id}: no message within {timeout}s"
+            ) from exc
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._outbound_lock:
+            for sock in self._outbound.values():
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._outbound.clear()
+
+    def __enter__(self) -> "TcpNode":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TcpCluster:
+    """Spin up ``node_ids`` on ephemeral localhost ports, fully meshed."""
+
+    def __init__(self, node_ids: list[NodeId]) -> None:
+        self.nodes: dict[NodeId, TcpNode] = {
+            node_id: TcpNode(node_id) for node_id in node_ids
+        }
+        book = {node_id: node.address for node_id, node in self.nodes.items()}
+        for node in self.nodes.values():
+            node.learn_peers(book)
+
+    def __getitem__(self, node_id: NodeId) -> TcpNode:
+        return self.nodes[node_id]
+
+    def close(self) -> None:
+        for node in self.nodes.values():
+            node.close()
+
+    def __enter__(self) -> "TcpCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

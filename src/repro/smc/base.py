@@ -1,0 +1,87 @@
+"""Shared context and result types for the relaxed-SMC protocols.
+
+Every protocol run happens inside an :class:`SmcContext` that fixes the
+cluster-wide crypto parameters (the commutative-cipher prime, the secret-
+sharing field), the RNG, and the three ledgers a run reports into: network
+stats (owned by the transport), crypto-op counts, and the leakage ledger.
+
+Definition 1 (paper §3) distinguishes *participants* (hold private inputs),
+*observers* (authorized to learn the result ``w``) and an optional blind
+*TTP coordinator*.  :class:`SmcResult` captures who got what.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.pohlig_hellman import MessageEncoder
+from repro.crypto.rng import DeterministicRng, system_rng
+from repro.errors import ConfigurationError, UnauthorizedObserverError
+from repro.net.stats import CryptoOpCounter
+from repro.smc.leakage import LeakageLedger
+
+__all__ = ["SmcContext", "SmcResult"]
+
+
+class SmcContext:
+    """Cluster-wide parameters and ledgers for SMC protocol runs.
+
+    Parameters
+    ----------
+    prime:
+        Shared Pohlig-Hellman modulus (a safe prime all parties agree on).
+    rng:
+        Root RNG; each party derives a child stream via ``rng.spawn`` so
+        runs are reproducible yet parties' randomness is independent.
+    """
+
+    def __init__(self, prime: int, rng: DeterministicRng | None = None) -> None:
+        if prime < 17:
+            raise ConfigurationError("shared prime too small")
+        self.prime = prime
+        self.rng = rng or system_rng()
+        self.encoder = MessageEncoder(prime)
+        self.crypto_ops = CryptoOpCounter()
+        self.leakage = LeakageLedger()
+
+    def party_rng(self, party_id: str) -> DeterministicRng:
+        """Independent randomness stream for one party."""
+        return self.rng.spawn(f"party:{party_id}")
+
+    def count_modexp(self, party_id: str, count: int = 1) -> None:
+        """Record ``count`` modular exponentiations performed by a party."""
+        self.crypto_ops.add(f"{party_id}.modexp", count)
+        self.crypto_ops.add("total.modexp", count)
+
+
+@dataclass
+class SmcResult:
+    """Outcome of one relaxed-SMC run.
+
+    ``values`` maps each authorized observer to the result it learned.
+    Reading the result as an unauthorized party raises — mirroring the
+    protocol property that only selected observers receive ``w``.
+    """
+
+    protocol: str
+    observers: frozenset[str]
+    values: dict[str, Any] = field(default_factory=dict)
+    rounds: int = 0
+
+    def value_for(self, observer: str) -> Any:
+        if observer not in self.observers:
+            raise UnauthorizedObserverError(
+                f"{observer!r} is not an authorized observer of {self.protocol}"
+            )
+        return self.values[observer]
+
+    @property
+    def any_value(self) -> Any:
+        """The result as seen by an arbitrary authorized observer.
+
+        All observers of a correct run hold equal values; tests assert it.
+        """
+        if not self.values:
+            raise UnauthorizedObserverError(f"{self.protocol}: no observer values")
+        return next(iter(self.values.values()))

@@ -1,0 +1,89 @@
+"""Leakage ledger: makes "relaxed" disclosure explicit and testable.
+
+Definition 1 of the paper *permits* disclosure of secondary information
+about private inputs (set sizes, counts, blinded gaps) while forbidding
+disclosure of the data itself.  Classical MPC papers prove zero leakage;
+a relaxed protocol must instead *state* its leakage.  Every protocol in
+:mod:`repro.smc` writes each secondary disclosure into a
+:class:`LeakageLedger`, and the test suite asserts both directions:
+
+* everything the protocol reveals is recorded (no silent leaks), and
+* nothing recorded is a *primary* secret (the ledger refuses entries
+  flagged as primary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SmcError
+
+__all__ = ["LeakageEvent", "LeakageLedger"]
+
+
+@dataclass(frozen=True)
+class LeakageEvent:
+    """One secondary disclosure.
+
+    Attributes
+    ----------
+    protocol:
+        Name of the protocol leaking (``"secure_set_intersection"``...).
+    observer:
+        Who learns the information (node id, or ``"*"`` for all parties).
+    category:
+        Machine-readable kind: ``"set_size"``, ``"position_linkage"``,
+        ``"scaled_gap"``, ``"result_cardinality"``, ``"order_statistics"``.
+    detail:
+        Human-readable description of exactly what leaks.
+    """
+
+    protocol: str
+    observer: str
+    category: str
+    detail: str
+
+
+_PRIMARY_CATEGORIES = frozenset({"plaintext", "raw_value", "private_set_element"})
+
+
+class LeakageLedger:
+    """Append-only record of secondary disclosures in a protocol run."""
+
+    def __init__(self) -> None:
+        self._events: list[LeakageEvent] = []
+
+    def record(self, protocol: str, observer: str, category: str, detail: str) -> None:
+        """Record one disclosure.
+
+        Raises
+        ------
+        SmcError
+            If the category denotes primary data — a relaxed protocol must
+            never disclose primary secrets, so attempting to log one is a
+            protocol bug surfaced immediately.
+        """
+        if category in _PRIMARY_CATEGORIES:
+            raise SmcError(
+                f"protocol {protocol!r} attempted to disclose primary data "
+                f"({category}) to {observer!r}"
+            )
+        self._events.append(LeakageEvent(protocol, observer, category, detail))
+
+    @property
+    def events(self) -> list[LeakageEvent]:
+        return list(self._events)
+
+    def categories(self) -> set[str]:
+        return {e.category for e in self._events}
+
+    def by_observer(self, observer: str) -> list[LeakageEvent]:
+        return [e for e in self._events if e.observer in (observer, "*")]
+
+    def count(self, category: str | None = None) -> int:
+        if category is None:
+            return len(self._events)
+        return sum(1 for e in self._events if e.category == category)
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,200 @@
+"""Secure set union ∪ₛ (paper §3.4, ref [20]).
+
+The n parties compute ``S_1 ∪ ... ∪ S_n`` such that the final output does
+not reveal *which party contributed which element*.  The flow mirrors the
+secure intersection: sets circulate the ring being encrypted by every key.
+The collector deduplicates the fully-encrypted elements (commutativity:
+equal ciphertexts <=> equal plaintexts), destroying multiplicity and
+ownership, then the deduplicated list is decrypted around the ring — "by
+keeping only one copy of any redundant entries ... one can recover the
+plaintext of the set union by sending each of the kept (encrypted) elements
+to every node for decoding."
+
+Ownership anonymity requires relays to shuffle (otherwise block boundaries
+identify the origin), so shuffling is unconditional here.  Because the
+plaintext must be *recovered* (not just compared), elements are encoded
+reversibly — the protocol therefore operates on non-negative integers
+(< p/4), which covers the DLA use case (glsn sets, attribute codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.pohlig_hellman import PohligHellmanCipher
+from repro.errors import ConfigurationError, ProtocolAbortError
+from repro.net.message import Message
+from repro.net.simnet import SimNetwork
+from repro.net.topology import next_on_ring
+from repro.smc.base import SmcContext, SmcResult
+
+__all__ = ["UnionParty", "secure_set_union"]
+
+PROTOCOL = "secure_set_union"
+
+
+@dataclass
+class _UnionState:
+    full_blocks: int = 0
+    pool: list[int] = field(default_factory=list)
+    result: list[int] | None = None
+
+
+class UnionParty:
+    """One participant in the secure-union ring."""
+
+    def __init__(
+        self,
+        party_id: str,
+        private_set: list[int],
+        ctx: SmcContext,
+        parties: list[str],
+        observers: list[str],
+        collector: str,
+    ) -> None:
+        self.party_id = party_id
+        self.ctx = ctx
+        self.parties = sorted(parties)
+        self.observers = sorted(observers)
+        self.collector = collector
+        self._rng = ctx.party_rng(party_id)
+        self.cipher = PohligHellmanCipher.generate(ctx.prime, self._rng)
+        self.encoded = sorted({ctx.encoder.encode_int(v) for v in private_set})
+        self.state = _UnionState()
+
+    def start(self, transport) -> None:
+        encrypted = self.cipher.encrypt_set(self.encoded)
+        self.ctx.count_modexp(self.party_id, len(encrypted))
+        self._rng.shuffle(encrypted)
+        self._advance(transport, hops=1, elements=encrypted)
+
+    def _advance(self, transport, hops: int, elements: list[int]) -> None:
+        if hops >= len(self.parties):
+            transport.send(
+                Message(
+                    src=self.party_id,
+                    dst=self.collector,
+                    kind="ssu.full",
+                    payload={"elements": elements},
+                )
+            )
+            return
+        transport.send(
+            Message(
+                src=self.party_id,
+                dst=next_on_ring(self.parties, self.party_id),
+                kind="ssu.relay",
+                payload={"hops": hops, "elements": elements},
+            )
+        )
+
+    def handle(self, msg: Message, transport) -> None:
+        if msg.kind == "ssu.relay":
+            elements = [self.cipher.encrypt(e) for e in msg.payload["elements"]]
+            self.ctx.count_modexp(self.party_id, len(elements))
+            self.ctx.leakage.record(
+                PROTOCOL, self.party_id, "set_size",
+                f"relay sees a block of {len(elements)} elements",
+            )
+            self._rng.shuffle(elements)
+            self._advance(transport, msg.payload["hops"] + 1, elements)
+        elif msg.kind == "ssu.full":
+            self._on_full(msg, transport)
+        elif msg.kind == "ssu.decrypt":
+            elements = [self.cipher.decrypt(e) for e in msg.payload["elements"]]
+            self.ctx.count_modexp(self.party_id, len(elements))
+            self._send_decrypt(transport, elements, msg.payload["remaining"])
+        elif msg.kind == "ssu.result":
+            self.state.result = list(msg.payload["items"])
+        else:
+            raise ProtocolAbortError(f"unexpected message kind {msg.kind!r}")
+
+    def _on_full(self, msg: Message, transport) -> None:
+        if self.party_id != self.collector:
+            raise ProtocolAbortError(f"{self.party_id} is not the union collector")
+        self.state.pool.extend(msg.payload["elements"])
+        self.state.full_blocks += 1
+        if self.state.full_blocks < len(self.parties):
+            return
+        unique = sorted(set(self.state.pool))
+        self.ctx.leakage.record(
+            PROTOCOL, self.party_id, "result_cardinality",
+            f"collector learns |∪ S_i| = {len(unique)}",
+        )
+        decrypted = [self.cipher.decrypt(e) for e in unique]
+        self.ctx.count_modexp(self.party_id, len(decrypted))
+        self._send_decrypt(
+            transport, decrypted,
+            remaining=[p for p in self.parties if p != self.party_id],
+        )
+
+    def _send_decrypt(self, transport, elements: list[int], remaining: list[str]) -> None:
+        if remaining:
+            transport.send(
+                Message(
+                    src=self.party_id,
+                    dst=remaining[0],
+                    kind="ssu.decrypt",
+                    payload={"elements": elements, "remaining": remaining[1:]},
+                )
+            )
+            return
+        items = sorted(self.ctx.encoder.decode_int(e) for e in elements)
+        for observer in self.observers:
+            if observer == self.party_id:
+                self.state.result = items
+            else:
+                transport.send(
+                    Message(
+                        src=self.party_id,
+                        dst=observer,
+                        kind="ssu.result",
+                        payload={"items": items},
+                    )
+                )
+
+
+def secure_set_union(
+    ctx: SmcContext,
+    sets: dict[str, list[int]],
+    observers: list[str] | None = None,
+    net: SimNetwork | None = None,
+    collector: str | None = None,
+) -> SmcResult:
+    """Run secure union over integer sets on a simulated network.
+
+    See module docstring; interface mirrors
+    :func:`repro.smc.intersection.secure_set_intersection`.
+    """
+    if not sets:
+        raise ConfigurationError("union needs at least one party")
+    parties = sorted(sets)
+    observers = sorted(observers) if observers else list(parties)
+    unknown = [o for o in observers if o not in parties]
+    if unknown:
+        raise ConfigurationError(f"observers {unknown} are not parties")
+    collector = collector or observers[0]
+    net = net or SimNetwork()
+
+    nodes = {
+        pid: UnionParty(pid, sets[pid], ctx, parties, observers, collector)
+        for pid in parties
+    }
+    for pid, node in nodes.items():
+        net.register(pid, node.handle)
+    for node in nodes.values():
+        node.start(net)
+    net.run()
+
+    values = {}
+    for obs in observers:
+        result = nodes[obs].state.result
+        if result is None:
+            raise ProtocolAbortError(f"observer {obs} never received the union")
+        values[obs] = result
+    return SmcResult(
+        protocol=PROTOCOL,
+        observers=frozenset(observers),
+        values=values,
+        rounds=len(parties),
+    )

@@ -1,0 +1,30 @@
+"""Synthetic workloads exercising the paper's motivating applications.
+
+* :mod:`~repro.workloads.ecommerce` — multi-party transactions in the
+  Table 1 shape (plus the exact Table 1 rows);
+* :mod:`~repro.workloads.intrusion` — multi-host traces with injected
+  distributed attack campaigns (correlation / irregular-pattern rules);
+* :mod:`~repro.workloads.library` — ref [7]'s library-patron secret
+  counting;
+* :mod:`~repro.workloads.generator` — parameterized random schemas,
+  plans, rows and query mixes for sweeps.
+"""
+
+from repro.workloads.ecommerce import (
+    ORDER_TYPE,
+    EcommerceWorkload,
+    paper_table1_rows,
+)
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.intrusion import AttackCampaign, IntrusionWorkload
+from repro.workloads.library import LibraryWorkload
+
+__all__ = [
+    "EcommerceWorkload",
+    "ORDER_TYPE",
+    "paper_table1_rows",
+    "IntrusionWorkload",
+    "AttackCampaign",
+    "LibraryWorkload",
+    "WorkloadGenerator",
+]

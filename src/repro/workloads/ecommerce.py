@@ -1,0 +1,136 @@
+"""E-commerce / B2B transaction workload (paper §2's motivating domain).
+
+Generates multi-party order transactions in the paper's Table 1 shape:
+each transaction produces a ``place`` event at the buyer and a ``confirm``
+(or ``settle``) event at the seller, with amounts in C2, volume codes in
+C1 and business labels in C3.  :func:`paper_table1_rows` reproduces the
+exact five rows of Table 1 for the table-regeneration experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.transaction import AtomicEvent, Transaction, TransactionType
+from repro.crypto.rng import DeterministicRng
+
+__all__ = [
+    "paper_table1_rows",
+    "ORDER_TYPE",
+    "EcommerceWorkload",
+]
+
+ORDER_TYPE = TransactionType(
+    ttn="order",
+    expected_events=("place", "confirm"),
+    description="two-party purchase order: buyer places, seller confirms",
+)
+
+SETTLEMENT_TYPE = TransactionType(
+    ttn="settlement",
+    expected_events=("invoice", "pay", "settle"),
+    description="three-step B2B settlement",
+)
+
+
+def paper_table1_rows() -> list[dict]:
+    """The exact attribute rows of the paper's Table 1 (glsn excluded —
+    the allocator reproduces those)."""
+    return [
+        {
+            "Time": "20:18:35/05/12/20", "id": "U1", "protocl": "UDP",
+            "Tid": "T1100265", "C1": 20, "C2": "23.45", "C3": "signature",
+        },
+        {
+            "Time": "20:20:35/05/12/20", "id": "U2", "protocl": "UDP",
+            "Tid": "T1100265", "C1": 34, "C2": "345.11", "C3": "evidence.",
+        },
+        {
+            "Time": "20:23:35/05/12/20", "id": "U1", "protocl": "UDP",
+            "Tid": "T1100267", "C1": 45, "C2": "235.00", "C3": "bank",
+        },
+        {
+            "Time": "20:23:38/05/12/20", "id": "U2", "protocl": "TCP",
+            "Tid": "T1100265", "C1": 18, "C2": "45.02", "C3": "salary",
+        },
+        {
+            "Time": "20:25:35/05/12/20", "id": "U3", "protocl": "TCP",
+            "Tid": "T1100267", "C1": 53, "C2": "678.75", "C3": "account",
+        },
+    ]
+
+
+@dataclass
+class EcommerceWorkload:
+    """Parameterized stream of order transactions.
+
+    Parameters
+    ----------
+    users:
+        Application node ids (buyers and sellers drawn from here).
+    seed:
+        Deterministic stream seed.
+    """
+
+    users: tuple[str, ...] = ("U1", "U2", "U3")
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        self._rng = DeterministicRng(f"ecommerce:{self.seed}")
+        self._counter = 1100265  # Table 1's first Tid number
+
+    def _next_tsn(self) -> str:
+        tsn = f"T{self._counter}"
+        self._counter += 1
+        return tsn
+
+    def _timestamp(self, step: int) -> str:
+        base = 20 * 3600 + 18 * 60 + 35 + 13 * step
+        h, rem = divmod(base % 86400, 3600)
+        m, s = divmod(rem, 60)
+        return f"{h:02d}:{m:02d}:{s:02d}/05/12/20"
+
+    def transactions(self, count: int) -> list[Transaction]:
+        """Generate ``count`` well-formed order transactions."""
+        out = []
+        for i in range(count):
+            buyer = self._rng.choice(self.users)
+            seller = self._rng.choice([u for u in self.users if u != buyer])
+            tsn = self._next_tsn()
+            amount = self._rng.randint(100, 99999) / 100
+            volume = self._rng.randint(1, 99)
+            protocol = self._rng.choice(["UDP", "TCP"])
+            t = Transaction(tsn=tsn, ttn=ORDER_TYPE.ttn)
+            t.add_event(AtomicEvent("place", buyer, {
+                "Time": self._timestamp(2 * i),
+                "protocl": protocol,
+                "C1": volume,
+                "C2": f"{amount:.2f}",
+                "C3": "order",
+            }))
+            t.add_event(AtomicEvent("confirm", seller, {
+                "Time": self._timestamp(2 * i + 1),
+                "protocl": protocol,
+                "C1": volume,
+                "C2": f"{amount:.2f}",
+                "C3": "confirm",
+            }))
+            out.append(t)
+        return out
+
+    def tampered_transactions(self, count: int, drop_confirm_every: int = 3) -> list[Transaction]:
+        """A stream where every Nth transaction is missing its confirm event
+        (atomicity violations for the rule-checking experiments)."""
+        ts = self.transactions(count)
+        for i, t in enumerate(ts):
+            if i % drop_confirm_every == drop_confirm_every - 1:
+                t.events = t.events[:1]
+        return ts
+
+    def flat_rows(self, count: int) -> list[dict]:
+        """Table-1-shaped raw rows (one per event) for storage benches."""
+        rows = []
+        for t in self.transactions(count):
+            for step, event in enumerate(t.events):
+                rows.append(event.log_values(t.tsn, t.ttn, step))
+        return rows

@@ -1,0 +1,147 @@
+"""Multi-host intrusion-detection workload (paper §1, §4.2, refs [2]-[5], [29]).
+
+"Distributed security breaching is usually an aggregated effect of
+distributed events, each of which alone may appear to be harmless."
+
+Generates event traces across several hosts: a background of benign
+activity plus injected *distributed attack campaigns* — e.g. a low-rate
+port probe spread over many hosts, or a credential-stuffing pattern where
+each host sees only a handful of failed logins.  The correlation and
+irregular-pattern rules must catch the campaign from the aggregate trail
+while any single host's slice stays under local thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import DeterministicRng
+
+__all__ = ["IntrusionWorkload", "AttackCampaign"]
+
+
+@dataclass(frozen=True)
+class AttackCampaign:
+    """Ground truth for one injected campaign."""
+
+    name: str
+    attacker: str
+    events_per_host: int
+    hosts: tuple[str, ...]
+
+    @property
+    def total_events(self) -> int:
+        return self.events_per_host * len(self.hosts)
+
+
+@dataclass
+class IntrusionWorkload:
+    """Synthetic multi-host audit-event stream.
+
+    Event rows use the Table 1 schema: ``id`` = reporting host, ``C1`` =
+    event code (int), ``C2`` = source address score, ``C3`` = event label,
+    ``Tid`` = session id, ``protocl`` = transport.
+    """
+
+    hosts: tuple[str, ...] = ("U1", "U2", "U3", "U4")
+    seed: int = 13
+
+    BENIGN_LABELS = ("login", "logout", "read", "write", "cron")
+    PROBE_LABEL = "probe"
+    FAILED_LOGIN_LABEL = "auth_fail"
+
+    def __post_init__(self) -> None:
+        self._rng = DeterministicRng(f"intrusion:{self.seed}")
+        self._session = 5000
+
+    def _next_session(self) -> str:
+        self._session += 1
+        return f"S{self._session}"
+
+    def _timestamp(self, tick: int) -> str:
+        h, rem = divmod((8 * 3600 + 7 * tick) % 86400, 3600)
+        m, s = divmod(rem, 60)
+        return f"{h:02d}:{m:02d}:{s:02d}/06/01/20"
+
+    def benign_rows(self, count: int) -> list[dict]:
+        """Background noise: normal operations on random hosts."""
+        rows = []
+        for tick in range(count):
+            host = self._rng.choice(self.hosts)
+            rows.append({
+                "Time": self._timestamp(tick),
+                "id": host,
+                "protocl": self._rng.choice(["TCP", "UDP"]),
+                "Tid": self._next_session(),
+                "C1": self._rng.randint(1, 10),        # low event codes: benign
+                "C2": f"{self._rng.randint(1, 5000) / 100:.2f}",
+                "C3": self._rng.choice(self.BENIGN_LABELS),
+            })
+        return rows
+
+    def probe_campaign(
+        self, attacker_score: float = 666.0, events_per_host: int = 3
+    ) -> tuple[list[dict], AttackCampaign]:
+        """A distributed port probe: few events per host, same source score.
+
+        ``C2`` carries the (blinded) source fingerprint — equal across
+        hosts, which is what cross-host correlation can seize on.
+        """
+        rows = []
+        tick = 10_000
+        for host in self.hosts:
+            for _ in range(events_per_host):
+                rows.append({
+                    "Time": self._timestamp(tick),
+                    "id": host,
+                    "protocl": "TCP",
+                    "Tid": self._next_session(),
+                    "C1": self._rng.randint(90, 99),    # high codes: suspicious
+                    "C2": f"{attacker_score:.2f}",
+                    "C3": self.PROBE_LABEL,
+                })
+                tick += 1
+        campaign = AttackCampaign(
+            name="distributed-probe",
+            attacker=f"{attacker_score:.2f}",
+            events_per_host=events_per_host,
+            hosts=self.hosts,
+        )
+        return rows, campaign
+
+    def credential_stuffing(
+        self, per_host: int = 2
+    ) -> tuple[list[dict], AttackCampaign]:
+        """Failed logins spread thin across hosts (each host under alarm)."""
+        rows = []
+        tick = 20_000
+        for host in self.hosts:
+            for _ in range(per_host):
+                rows.append({
+                    "Time": self._timestamp(tick),
+                    "id": host,
+                    "protocl": "TCP",
+                    "Tid": self._next_session(),
+                    "C1": 77,
+                    "C2": f"{self._rng.randint(1, 5000) / 100:.2f}",
+                    "C3": self.FAILED_LOGIN_LABEL,
+                })
+                tick += 3
+        campaign = AttackCampaign(
+            name="credential-stuffing",
+            attacker="77",
+            events_per_host=per_host,
+            hosts=self.hosts,
+        )
+        return rows, campaign
+
+    def mixed_trace(
+        self, benign: int = 40, probe_per_host: int = 3, stuffing_per_host: int = 2
+    ) -> tuple[list[dict], list[AttackCampaign]]:
+        """Benign background with both campaigns interleaved."""
+        rows = self.benign_rows(benign)
+        probe_rows, probe = self.probe_campaign(events_per_host=probe_per_host)
+        stuff_rows, stuffing = self.credential_stuffing(per_host=stuffing_per_host)
+        everything = rows + probe_rows + stuff_rows
+        self._rng.shuffle(everything)
+        return everything, [probe, stuffing]

@@ -1,0 +1,81 @@
+"""Library-patron auditing workload (paper ref [7]: Camp & Tygar).
+
+"In [7], the notion of secret counting was proposed to audit the system
+statistics, such as the number of specific services that have been used,
+the number of records located in each search, without having to unveil the
+privacy of library patrons."
+
+The workload generates patron activity (searches, checkouts) at several
+branch systems; the auditing questions are exactly the secret-counting
+ones: *how many* searches ran, *total* records located, *which branch*
+had the busiest patron — all answerable via the relaxed secure sum /
+ranking without naming a patron.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import DeterministicRng
+
+__all__ = ["LibraryWorkload"]
+
+
+@dataclass
+class LibraryWorkload:
+    """Per-branch patron activity with private per-branch tallies."""
+
+    branches: tuple[str, ...] = ("U1", "U2", "U3")
+    patrons_per_branch: int = 8
+    seed: int = 21
+
+    SERVICES = ("search", "checkout", "renewal", "ill_request")
+
+    def __post_init__(self) -> None:
+        self._rng = DeterministicRng(f"library:{self.seed}")
+
+    def activity_rows(self, events: int) -> list[dict]:
+        """Raw activity rows in the Table 1 shape.
+
+        ``id`` = branch, ``C3`` = service name, ``C1`` = records located
+        by the operation, ``C2`` = patron pseudonym score (opaque),
+        ``Tid`` = patron session.
+        """
+        rows = []
+        for tick in range(events):
+            branch = self._rng.choice(self.branches)
+            patron = self._rng.randint(1, self.patrons_per_branch)
+            service = self._rng.choice(self.SERVICES)
+            located = self._rng.randint(0, 40) if service == "search" else 0
+            h, rem = divmod((9 * 3600 + 11 * tick) % 86400, 3600)
+            m, s = divmod(rem, 60)
+            rows.append({
+                "Time": f"{h:02d}:{m:02d}:{s:02d}/07/01/20",
+                "id": branch,
+                "protocl": "TCP",
+                "Tid": f"{branch}-patron-{patron}",
+                "C1": located,
+                "C2": f"{self._rng.randint(100, 999)}.00",
+                "C3": service,
+            })
+        return rows
+
+    def per_branch_counts(self, rows: list[dict], service: str) -> dict[str, int]:
+        """Ground truth: how many ``service`` events each branch logged.
+
+        These are the *private inputs* to the secret-counting secure sum;
+        tests compare the SMC output against their plain total.
+        """
+        counts = {branch: 0 for branch in self.branches}
+        for row in rows:
+            if row["C3"] == service:
+                counts[row["id"]] += 1
+        return counts
+
+    def per_branch_records_located(self, rows: list[dict]) -> dict[str, int]:
+        """Ground truth: total records located per branch (search results)."""
+        totals = {branch: 0 for branch in self.branches}
+        for row in rows:
+            if row["C3"] == "search":
+                totals[row["id"]] += row["C1"]
+        return totals

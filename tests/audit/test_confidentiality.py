@@ -1,0 +1,127 @@
+"""Tests for the §5 confidentiality metrics (eq. 10-13)."""
+
+import pytest
+
+from repro.audit.confidentiality import (
+    auditing_confidentiality,
+    dla_confidentiality,
+    query_confidentiality,
+    store_confidentiality,
+)
+from repro.audit.planner import plan_query
+from repro.errors import AuditError
+from repro.logstore.fragmentation import FragmentPlan, round_robin_plan
+from repro.logstore.records import LogRecord
+from repro.workloads import paper_table1_rows
+
+
+@pytest.fixture()
+def table1_record(table1_schema):
+    return LogRecord(0x139AEF78, paper_table1_rows()[0])
+
+
+class TestStoreConfidentiality:
+    def test_table1_row_ingredients(self, table1_record, table1_schema, table1_plan):
+        sc = store_confidentiality(table1_record, table1_schema, table1_plan)
+        # Table 1 row uses 7 attributes, 3 undefined (C1, C2, C3), and the
+        # paper plan needs all 4 nodes to cover them.
+        assert (sc.w, sc.v, sc.u) == (7, 3, 4)
+        assert sc.value == pytest.approx(3 * 4 / 7)
+
+    def test_no_undefined_scores_zero(self, table1_schema, table1_plan):
+        record = LogRecord(1, {"Time": "x", "id": "U1"})
+        sc = store_confidentiality(record, table1_schema, table1_plan)
+        assert sc.v == 0 and sc.value == 0.0
+
+    def test_single_node_coverage_lowers_u(self, table1_schema, table1_plan):
+        record = LogRecord(1, {"id": "U1", "C2": "9.99", "C5": 1})
+        sc = store_confidentiality(record, table1_schema, table1_plan)
+        assert sc.u == 1  # P1 supports all three
+
+    def test_more_nodes_raise_score(self, table1_schema, table1_record):
+        """eq. 10 shape: spreading the same record over more nodes helps."""
+        few = round_robin_plan(table1_schema, ["P0", "P1"])
+        many = round_robin_plan(table1_schema, ["P0", "P1", "P2", "P3", "P4", "P5"])
+        sc_few = store_confidentiality(table1_record, table1_schema, few)
+        sc_many = store_confidentiality(table1_record, table1_schema, many)
+        assert sc_many.u > sc_few.u
+        assert sc_many.value > sc_few.value
+
+    def test_empty_record_rejected(self, table1_schema, table1_plan):
+        with pytest.raises(AuditError):
+            store_confidentiality(LogRecord(1, {}), table1_schema, table1_plan)
+
+
+class TestAuditingConfidentiality:
+    def test_all_local_single_clause(self, table1_schema, table1_plan):
+        # s=1, t=0, q=1 -> 1/2
+        value = auditing_confidentiality("C1 > 30", table1_schema, table1_plan)
+        assert value == pytest.approx(0.5)
+
+    def test_all_cross_scores_one(self, table1_schema, table1_plan):
+        # s=1, t=1, q=1 -> (1+1)/(1+1) = 1
+        value = auditing_confidentiality("C1 < C2", table1_schema, table1_plan)
+        assert value == pytest.approx(1.0)
+
+    def test_mixed(self, table1_schema, table1_plan):
+        # s=2, t=1, q=2 -> 3/4
+        value = auditing_confidentiality(
+            "C1 < C2 and Tid = 'T'", table1_schema, table1_plan
+        )
+        assert value == pytest.approx(0.75)
+
+    def test_more_local_predicates_lower_score(self, table1_schema, table1_plan):
+        narrow = auditing_confidentiality("C1 > 1", table1_schema, table1_plan)
+        wide = auditing_confidentiality(
+            "C1 > 1 or C1 > 2 or C1 > 3", table1_schema, table1_plan
+        )
+        assert wide < narrow
+
+    def test_accepts_query_plan(self, table1_schema, table1_plan):
+        plan = plan_query("C1 < C2 and Tid = 'T'", table1_schema, table1_plan)
+        direct = auditing_confidentiality(plan, table1_schema, table1_plan)
+        from_text = auditing_confidentiality(
+            "C1 < C2 and Tid = 'T'", table1_schema, table1_plan
+        )
+        assert direct == from_text
+
+
+class TestComposedMetrics:
+    def test_query_confidentiality_product(
+        self, table1_record, table1_schema, table1_plan
+    ):
+        c_a = auditing_confidentiality("C1 < C2", table1_schema, table1_plan)
+        c_s = store_confidentiality(table1_record, table1_schema, table1_plan).value
+        c_q = query_confidentiality("C1 < C2", table1_record, table1_schema, table1_plan)
+        assert c_q == pytest.approx(c_a * c_s)
+
+    def test_dla_is_mean(self, table1_record, table1_schema, table1_plan):
+        workload = [
+            ("C1 > 30", table1_record),
+            ("C1 < C2", table1_record),
+        ]
+        expected = sum(
+            query_confidentiality(q, r, table1_schema, table1_plan)
+            for q, r in workload
+        ) / 2
+        assert dla_confidentiality(workload, table1_schema, table1_plan) == pytest.approx(
+            expected
+        )
+
+    def test_empty_workload_rejected(self, table1_schema, table1_plan):
+        with pytest.raises(AuditError):
+            dla_confidentiality([], table1_schema, table1_plan)
+
+    def test_centralized_baseline_is_floor(self, table1_record, table1_schema):
+        """A single-node 'cluster' scores u=1; any real spread beats it."""
+        single = FragmentPlan(
+            table1_schema, {"P0": list(table1_schema.names)}
+        )
+        sc = store_confidentiality(table1_record, table1_schema, single)
+        assert sc.u == 1
+        paper = store_confidentiality(
+            table1_record,
+            table1_schema,
+            round_robin_plan(table1_schema, ["P0", "P1", "P2", "P3"]),
+        )
+        assert paper.value > sc.value

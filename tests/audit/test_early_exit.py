@@ -1,0 +1,59 @@
+"""Tests for early-exit clause ordering in the executor."""
+
+import pytest
+
+from repro.audit.executor import QueryExecutor
+from repro.crypto import DeterministicRng
+from repro.net.simnet import SimNetwork
+from repro.smc.base import SmcContext
+
+
+@pytest.fixture()
+def executor(populated_store, table1_schema, prime64):
+    store, _, _ = populated_store
+    return QueryExecutor(
+        store, SmcContext(prime64, DeterministicRng(b"ee")), table1_schema
+    )
+
+
+class TestEarlyExit:
+    def test_empty_local_clause_skips_cross_smc(self, executor):
+        """'C1 > 10000' is empty, so the cross-order predicate must never
+        run: zero network traffic."""
+        net = SimNetwork()
+        result = executor.execute("C1 > 10000 and C1 < C2", net=net)
+        assert result.glsns == []
+        assert result.messages == 0
+
+    def test_disabled_early_exit_runs_everything(self, executor):
+        executor.early_exit = False
+        net = SimNetwork()
+        result = executor.execute("C1 > 10000 and C1 < C2", net=net)
+        assert result.glsns == []
+        assert result.messages > 0  # the SMC ran anyway
+
+    def test_results_identical_either_way(self, executor, populated_store):
+        criteria = [
+            "C1 > 30 and Tid = 'T1100265'",
+            "C1 > 10000 and C1 < C2",
+            "C1 < C2 and protocl = 'UDP'",
+            "(C1 > 30 or protocl = 'TCP') and Tid = 'T1100267'",
+        ]
+        for criterion in criteria:
+            executor.early_exit = True
+            eager = executor.execute(criterion).glsns
+            executor.early_exit = False
+            full = executor.execute(criterion).glsns
+            assert eager == full, criterion
+        executor.early_exit = True
+
+    def test_local_clauses_evaluated_first(self, executor):
+        """The subquery breakdown shows locals resolved even when a cross
+        clause appears first in the criterion text."""
+        net = SimNetwork()
+        result = executor.execute("C1 < C2 and C1 > 10000", net=net)
+        assert result.glsns == [] and result.messages == 0
+        # the empty local clause is present in the breakdown; the cross
+        # clause was skipped entirely.
+        assert any(not g for g in result.subquery_glsns.values())
+        assert len(result.subquery_glsns) == 1

@@ -1,0 +1,188 @@
+"""Tests for query planning and distributed confidential execution."""
+
+import pytest
+
+from repro.audit.executor import QueryExecutor
+from repro.audit.planner import plan_query
+from repro.baseline.centralized import CentralizedAuditor
+from repro.crypto import DeterministicRng
+from repro.errors import AuditError, PlanningError
+from repro.logstore.records import LogRecord
+from repro.net.simnet import SimNetwork
+from repro.smc.base import SmcContext
+from repro.workloads import paper_table1_rows
+
+
+@pytest.fixture()
+def executor(populated_store, table1_schema, prime64):
+    store, _, _ = populated_store
+    ctx = SmcContext(prime64, DeterministicRng(b"exec"))
+    return QueryExecutor(store, ctx, table1_schema)
+
+
+@pytest.fixture()
+def oracle(populated_store, table1_schema):
+    """Centralized evaluation over the same data = ground truth."""
+    _, _, receipts = populated_store
+    auditor = CentralizedAuditor(table1_schema)
+    for receipt, row in zip(receipts, paper_table1_rows()):
+        auditor.ingest(LogRecord(receipt.glsn, row))
+    return auditor
+
+
+CRITERIA = [
+    "C1 > 30",
+    "C1 <= 20",
+    "protocl = 'UDP'",
+    "protocl != 'UDP'",
+    "Tid = 'T1100265'",
+    "id = 'U1' and protocl = 'UDP'",
+    "C1 > 30 and protocl = 'UDP'",
+    "C1 > 50 or id = 'U1'",
+    "not (protocl = 'UDP')",
+    "(C1 > 30 or protocl = 'TCP') and Tid = 'T1100267'",
+    "C1 < C2",
+    "C2 < C1",
+    "C1 >= C1",
+    "Tid = id",
+    "not (C1 < C2)",
+    "C1 > 10 and C1 < 50 and protocl = 'UDP'",
+]
+
+
+class TestPlanShape:
+    def test_strategies_assigned(self, table1_schema, table1_plan):
+        plan = plan_query("C1 < C2 and Tid = 'T'", table1_schema, table1_plan)
+        prims = {s.primitive for s in plan.strategies.values()}
+        assert prims == {"scmp", "scan"}
+
+    def test_cross_equality_uses_ssi(self, table1_schema, table1_plan):
+        plan = plan_query("Tid = id", table1_schema, table1_plan)
+        assert next(iter(plan.strategies.values())).primitive == "ssi"
+
+    def test_metrics_stq(self, table1_schema, table1_plan):
+        plan = plan_query(
+            "(C1 > 30 or protocl = 'TCP') and Tid = 'T1100267' and C1 < C2",
+            table1_schema,
+            table1_plan,
+        )
+        assert (plan.s, plan.t, plan.q) == (4, 1, 3)
+
+    def test_describe_mentions_final_intersection(self, table1_schema, table1_plan):
+        plan = plan_query("C1 > 1 and Tid = 'T'", table1_schema, table1_plan)
+        assert "secure set intersection" in plan.describe()
+
+    def test_single_clause_no_final(self, table1_schema, table1_plan):
+        plan = plan_query("C1 > 1", table1_schema, table1_plan)
+        assert not plan.needs_final_intersection
+
+    def test_ordered_cross_on_text_rejected(self, table1_schema, table1_plan):
+        with pytest.raises(PlanningError):
+            plan_query("protocl < id", table1_schema, table1_plan)
+
+
+class TestExecutionAgainstOracle:
+    @pytest.mark.parametrize("criterion", CRITERIA)
+    def test_matches_centralized(self, executor, oracle, criterion):
+        confidential = executor.execute(criterion).glsns
+        centralized = oracle.execute(criterion)
+        assert confidential == centralized, criterion
+
+    def test_result_reports_cost(self, executor):
+        # C1 lives on P3, Tid on P2: the conjunction crosses nodes and must
+        # go through the secure set intersection (real traffic).
+        result = executor.execute("C1 > 30 and Tid = 'T1100265'")
+        assert result.messages > 0 and result.bytes > 0
+
+    def test_local_only_query_no_messages(self, executor):
+        result = executor.execute("C1 > 30")
+        assert result.messages == 0  # evaluated entirely at P3
+
+    def test_subquery_breakdown(self, executor):
+        result = executor.execute("C1 > 30 and protocl = 'UDP'")
+        assert set(result.subquery_glsns) == {"SQ0", "SQ1"}
+
+    def test_shared_net_accumulates(self, executor):
+        net = SimNetwork()
+        executor.execute("Tid = id", net=net)
+        first = net.stats.messages
+        executor.execute("C1 < C2", net=net)
+        assert net.stats.messages > first
+
+
+class TestAggregates:
+    def test_sum(self, executor, oracle):
+        assert executor.aggregate("sum", "C1").value == oracle.aggregate("sum", "C1")
+
+    def test_sum_with_criterion(self, executor, oracle):
+        criterion = "protocl = 'UDP'"
+        assert (
+            executor.aggregate("sum", "C1", criterion).value
+            == oracle.aggregate("sum", "C1", criterion)
+        )
+
+    def test_count(self, executor, oracle):
+        assert (
+            executor.aggregate("count", "C2", "C1 > 30").value
+            == oracle.aggregate("count", "C2", "C1 > 30")
+        )
+
+    def test_max_min(self, executor, oracle):
+        assert executor.aggregate("max", "C2").value == pytest.approx(
+            oracle.aggregate("max", "C2")
+        )
+        assert executor.aggregate("min", "C1").value == oracle.aggregate("min", "C1")
+
+    def test_max_reports_holder(self, executor):
+        result = executor.aggregate("max", "C2")
+        assert result.holder == "P1"  # single owner of C2
+
+    def test_empty_match(self, executor):
+        result = executor.aggregate("max", "C1", "C1 > 100000")
+        assert result.value is None and result.matched == 0
+
+    def test_decimal_sum(self, executor, oracle):
+        mine = executor.aggregate("sum", "C2").value
+        truth = oracle.aggregate("sum", "C2")
+        assert mine == pytest.approx(truth, abs=0.01)
+
+    def test_unknown_op(self, executor):
+        with pytest.raises(AuditError):
+            executor.aggregate("median", "C1")
+
+
+class TestMultiOwnerAggregates:
+    """Replicated (overlapping) plans engage the SMC combine paths."""
+
+    @pytest.fixture()
+    def replicated(self, table1_schema, ticket_authority, prime64):
+        from repro.crypto import AccumulatorParams, Operation
+        from repro.logstore.fragmentation import FragmentPlan
+        from repro.logstore.store import DistributedLogStore
+
+        plan = FragmentPlan(
+            table1_schema,
+            {
+                "P0": ["Time", "C4", "C1"],
+                "P1": ["id", "EID", "C2", "C5", "C1"],
+                "P2": ["Tid", "C3", "C"],
+                "P3": ["protocl", "ip"],
+            },
+            allow_overlap=True,
+        )
+        store = DistributedLogStore(
+            plan,
+            ticket_authority,
+            AccumulatorParams.generate(128, DeterministicRng(b"repl")),
+        )
+        ticket = ticket_authority.issue("U1", {Operation.READ, Operation.WRITE})
+        store.append_record(paper_table1_rows(), ticket)
+        ctx = SmcContext(prime64, DeterministicRng(b"repl-ctx"))
+        return QueryExecutor(store, ctx, table1_schema)
+
+    def test_count_distinct_under_replication(self, replicated):
+        assert replicated.aggregate("count", "C1").value == 5
+
+    def test_max_ranking_under_replication(self, replicated):
+        result = replicated.aggregate("max", "C1")
+        assert result.value == 53

@@ -1,0 +1,89 @@
+"""Tests for distributed majority agreement and threshold-signed reports."""
+
+import pytest
+
+from repro.cluster.agreement import (
+    digest_result,
+    run_majority_agreement,
+    sign_agreed_result,
+)
+from repro.crypto.threshold import ThresholdScheme
+from repro.errors import AgreementError
+from repro.net.simnet import SimNetwork
+
+
+class TestDigest:
+    def test_deterministic(self):
+        assert digest_result([1, 2, 3]) == digest_result([1, 2, 3])
+
+    def test_order_sensitive(self):
+        assert digest_result([1, 2]) != digest_result([2, 1])
+
+    def test_structures(self):
+        assert digest_result({"a": 1}) == digest_result({"a": 1})
+        assert digest_result({"a": 1}) != digest_result({"a": 2})
+
+
+class TestMajorityAgreement:
+    def test_unanimous(self):
+        digests = {f"P{i}": digest_result("result") for i in range(5)}
+        agreed, per_node = run_majority_agreement(digests)
+        assert agreed == digest_result("result")
+        assert all(per_node.values())
+
+    def test_single_liar_outvoted(self):
+        digests = {f"P{i}": digest_result("truth") for i in range(4)}
+        digests["P4"] = digest_result("lie")
+        agreed, _ = run_majority_agreement(digests)
+        assert agreed == digest_result("truth")
+
+    def test_minority_cannot_win(self):
+        digests = {
+            "P0": digest_result("a"),
+            "P1": digest_result("a"),
+            "P2": digest_result("a"),
+            "P3": digest_result("b"),
+            "P4": digest_result("b"),
+        }
+        agreed, _ = run_majority_agreement(digests)
+        assert agreed == digest_result("a")
+
+    def test_tie_fails(self):
+        digests = {
+            "P0": digest_result("a"),
+            "P1": digest_result("a"),
+            "P2": digest_result("b"),
+            "P3": digest_result("b"),
+        }
+        with pytest.raises(AgreementError):
+            run_majority_agreement(digests)
+
+    def test_all_disagree_fails(self):
+        digests = {f"P{i}": digest_result(f"v{i}") for i in range(3)}
+        with pytest.raises(AgreementError):
+            run_majority_agreement(digests)
+
+    def test_message_cost_quadratic(self):
+        net = SimNetwork()
+        digests = {f"P{i}": digest_result("x") for i in range(4)}
+        run_majority_agreement(digests, net=net)
+        assert net.stats.messages == 4 * 3  # full broadcast round
+
+    def test_single_node(self):
+        agreed, _ = run_majority_agreement({"P0": digest_result("solo")})
+        assert agreed == digest_result("solo")
+
+
+class TestSignedRelease:
+    def test_sign_and_verify(self, schnorr_group, rng):
+        scheme = ThresholdScheme(schnorr_group, k=3, n=5)
+        public_y, shares = scheme.deal(rng)
+        digest = digest_result([1, 2, 3])
+        sig = sign_agreed_result(scheme, shares[:3], digest, rng)
+        assert scheme.verify(public_y, digest.encode("ascii"), sig)
+
+    def test_insufficient_shares(self, schnorr_group, rng):
+        scheme = ThresholdScheme(schnorr_group, k=3, n=5)
+        _, shares = scheme.deal(rng)
+        with pytest.raises(AgreementError):
+            sign_agreed_result(scheme, shares[:2], digest_result("x"), rng)

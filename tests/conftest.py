@@ -1,0 +1,87 @@
+"""Shared fixtures for the repro test suite.
+
+Crypto parameters are deliberately small (64-128 bit) so the full suite
+stays fast; every protocol under test is parametric in these sizes, so
+correctness coverage is unaffected.  Expensive shared objects (groups,
+populated services) are session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import (
+    AccumulatorParams,
+    DeterministicRng,
+    Operation,
+    TicketAuthority,
+    shared_prime,
+)
+from repro.crypto.schnorr import SchnorrGroup
+from repro.logstore import (
+    DistributedLogStore,
+    paper_fragment_plan,
+    paper_table1_schema,
+)
+from repro.smc import SmcContext
+from repro.workloads import paper_table1_rows
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return DeterministicRng(b"test-rng")
+
+
+@pytest.fixture(scope="session")
+def prime64():
+    return shared_prime(64)
+
+
+@pytest.fixture(scope="session")
+def prime128():
+    return shared_prime(128)
+
+
+@pytest.fixture(scope="session")
+def schnorr_group():
+    return SchnorrGroup.generate(128, DeterministicRng(b"session-group"))
+
+
+@pytest.fixture()
+def ctx(prime64):
+    """Fresh SMC context per test (ledgers must not leak across tests)."""
+    return SmcContext(prime64, DeterministicRng(b"ctx"))
+
+
+@pytest.fixture(scope="session")
+def table1_schema():
+    return paper_table1_schema()
+
+
+@pytest.fixture(scope="session")
+def table1_plan(table1_schema):
+    return paper_fragment_plan(table1_schema)
+
+
+@pytest.fixture()
+def ticket_authority():
+    return TicketAuthority(b"conftest-master-secret-0123456789")
+
+
+@pytest.fixture()
+def populated_store(table1_schema, table1_plan, ticket_authority):
+    """A distributed store loaded with the paper's Table 1 rows.
+
+    Returns ``(store, ticket, receipts)``.
+    """
+    store = DistributedLogStore(
+        table1_plan,
+        ticket_authority,
+        AccumulatorParams.generate(128, DeterministicRng(b"acc")),
+    )
+    ticket = ticket_authority.issue(
+        "U1", {Operation.READ, Operation.WRITE, Operation.DELETE}
+    )
+    receipts = store.append_record(paper_table1_rows(), ticket)
+    return store, ticket, receipts

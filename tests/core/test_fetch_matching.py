@@ -1,0 +1,47 @@
+"""Tests for owner-scoped record retrieval after a confidential query."""
+
+import pytest
+
+from repro.core import ApplicationNode, ConfidentialAuditingService
+from repro.crypto import DeterministicRng
+from repro.logstore import paper_fragment_plan, paper_table1_schema
+
+
+@pytest.fixture(scope="module")
+def world():
+    schema = paper_table1_schema()
+    service = ConfidentialAuditingService(
+        schema, paper_fragment_plan(schema), prime_bits=64,
+        rng=DeterministicRng(b"fetch"),
+    )
+    alice = ApplicationNode.register("alice", service)
+    bob = ApplicationNode.register("bob", service)
+    alice.log_values({"Tid": "T1", "C1": 10, "C3": "mine"})
+    alice.log_values({"Tid": "T2", "C1": 90, "C3": "mine"})
+    bob.log_values({"Tid": "T3", "C1": 95, "C3": "theirs"})
+    return service, alice, bob
+
+
+class TestFetchMatching:
+    def test_owner_gets_own_matches(self, world):
+        _, alice, _ = world
+        records = alice.fetch_matching("C1 >= 10")
+        assert {r.values["Tid"] for r in records} == {"T1", "T2"}
+
+    def test_others_records_silently_withheld(self, world):
+        """Bob's record matches C1 > 50 but alice cannot retrieve it."""
+        _, alice, bob = world
+        alice_view = alice.fetch_matching("C1 > 50")
+        assert {r.values["Tid"] for r in alice_view} == {"T2"}
+        bob_view = bob.fetch_matching("C1 > 50")
+        assert {r.values["Tid"] for r in bob_view} == {"T3"}
+
+    def test_no_matches(self, world):
+        _, alice, _ = world
+        assert alice.fetch_matching("C1 > 100000") == []
+
+    def test_full_record_contents(self, world):
+        _, alice, _ = world
+        [record] = alice.fetch_matching("Tid = 'T1'")
+        assert record.values["C3"] == "mine"
+        assert record.values["id"] == "alice"

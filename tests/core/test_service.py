@@ -1,0 +1,158 @@
+"""Tests for the end-to-end ConfidentialAuditingService."""
+
+import pytest
+
+from repro.core import (
+    ApplicationNode,
+    AtomicityRule,
+    Auditor,
+    ConfidentialAuditingService,
+    Transaction,
+    AtomicEvent,
+)
+from repro.crypto import DeterministicRng, Operation
+from repro.errors import (
+    AccessDeniedError,
+    ConfigurationError,
+    TicketError,
+)
+from repro.logstore import paper_fragment_plan, paper_table1_schema
+
+
+@pytest.fixture(scope="module")
+def service():
+    schema = paper_table1_schema()
+    return ConfidentialAuditingService(
+        schema,
+        paper_fragment_plan(schema),
+        prime_bits=64,
+        rng=DeterministicRng(b"service-tests"),
+    )
+
+
+@pytest.fixture(scope="module")
+def seeded(service):
+    """Two app nodes with one complete transaction logged."""
+    u1 = ApplicationNode.register("U1", service)
+    u2 = ApplicationNode.register("U2", service)
+    t = Transaction(tsn="T7000", ttn="order")
+    t.add_event(AtomicEvent("place", "U1", {"protocl": "UDP", "C1": 21, "C2": "10.00"}))
+    t.add_event(AtomicEvent("confirm", "U2", {"protocl": "UDP", "C1": 21, "C2": "10.00"}))
+    u1.log_transaction(t)
+    u2.log_transaction(t)
+    return u1, u2
+
+
+class TestDeployment:
+    def test_membership_covers_all_nodes(self, service):
+        summary = service.membership_summary()
+        assert summary["size"] == 4
+        assert summary["chain_length"] == 3
+        service.membership.verify()
+
+    def test_threshold_default_majority(self, service):
+        assert service.threshold == 3
+
+    def test_invalid_threshold_rejected(self):
+        schema = paper_table1_schema()
+        with pytest.raises(ConfigurationError):
+            ConfidentialAuditingService(
+                schema, paper_fragment_plan(schema), threshold=9,
+                rng=DeterministicRng(b"x"),
+            )
+
+    def test_describe(self, service):
+        text = service.describe()
+        assert "P0" in text and "3/4" in text
+
+
+class TestLoggingPath(object):
+    def test_log_and_read_back(self, service, seeded):
+        u1, _ = seeded
+        receipt = u1.receipts[0]
+        record = u1.read_back(receipt)
+        assert record.values["Tid"] == "T7000"
+        assert record.values["id"] == "U1"
+
+    def test_receipt_verification(self, service, seeded):
+        u1, _ = seeded
+        assert u1.verify_receipt(u1.receipts[0])
+
+    def test_cannot_read_others_records(self, service, seeded):
+        u1, u2 = seeded
+        with pytest.raises(AccessDeniedError):
+            service.read_own_record(u2.receipts[0].glsn, u1.ticket)
+
+    def test_expired_ticket_rejected(self, service):
+        short = service.register_user("U9", lifetime=1)
+        service.ticket_authority.tick(5)
+        with pytest.raises(TicketError):
+            service.log_event({"Tid": "Tx"}, short)
+
+    def test_log_event_rejects_foreign_executor(self, service, seeded):
+        u1, _ = seeded
+        t = Transaction(tsn="T1", ttn="order")
+        event = AtomicEvent("place", "U2")
+        from repro.errors import LogStoreError
+
+        with pytest.raises(LogStoreError):
+            u1.log_event(t, event, 0)
+
+
+class TestAuditingPath:
+    def test_query(self, service, seeded):
+        result = service.query("Tid = 'T7000'")
+        assert result.count == 2
+
+    def test_audited_query_signed(self, service, seeded):
+        report = service.audited_query("Tid = 'T7000'")
+        assert len(report.glsns) == 2
+        assert service.verify_report(report)
+
+    def test_tampered_report_fails(self, service, seeded):
+        import dataclasses
+
+        report = service.audited_query("Tid = 'T7000'")
+        forged = dataclasses.replace(report, glsns=report.glsns[:1])
+        assert not service.verify_report(forged)
+
+    def test_auditor_wrapper(self, service, seeded):
+        auditor = Auditor("aud", service)
+        report = auditor.audited_query("id = 'U1'")
+        assert report.glsns
+        assert auditor.reverify_session()
+        verdict = auditor.check_rule(AtomicityRule(tsn="T7000", width=2))
+        assert verdict.passed
+
+    def test_aggregate(self, service, seeded):
+        assert service.aggregate("sum", "C1").value == 42
+        assert service.aggregate("count", "C1", "protocl = 'UDP'").value == 2
+
+    def test_plan_criterion(self, service):
+        plan = service.plan_criterion("C1 < C2 and Tid = 'T7000'")
+        assert plan.t == 1 and plan.q == 2
+
+    def test_integrity_clean(self, service, seeded):
+        assert all(r.ok for r in service.check_integrity())
+        assert all(r.ok for r in service.check_integrity(distributed=False))
+
+    def test_cost_snapshot(self, service, seeded):
+        service.query("Tid = id")  # force SMC traffic
+        snapshot = service.cost_snapshot()
+        assert snapshot["crypto_ops"].get("total.modexp", 0) > 0
+        assert "set_size" in snapshot["leakage_categories"]
+
+
+class TestTamperedCluster:
+    def test_integrity_detects_compromised_node(self):
+        schema = paper_table1_schema()
+        service = ConfidentialAuditingService(
+            schema, paper_fragment_plan(schema), prime_bits=64,
+            rng=DeterministicRng(b"tamper"),
+        )
+        node = ApplicationNode.register("U1", service)
+        receipt = node.log_values({"Tid": "T1", "C1": 5, "protocl": "UDP"})
+        service.store.node_store("P3").tamper(receipt.glsn, "C1", 999)
+        reports = service.check_integrity()
+        assert any(not r.ok for r in reports)
+        assert not node.verify_receipt(receipt)

@@ -1,0 +1,108 @@
+"""Tests for the one-way accumulator (paper §4.1 eq. 8-9)."""
+
+import itertools
+
+import pytest
+
+from repro.crypto.accumulator import (
+    AccumulatorParams,
+    OneWayAccumulator,
+    digest_to_exponent,
+)
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def acc():
+    params = AccumulatorParams.generate(128, DeterministicRng(b"acc-tests"))
+    return OneWayAccumulator(params)
+
+
+class TestParams:
+    def test_generate(self):
+        params = AccumulatorParams.generate(64, DeterministicRng(b"p"))
+        assert params.n.bit_length() == 64
+        assert 1 < params.x0 < params.n - 1
+
+    def test_bad_modulus(self):
+        with pytest.raises(ParameterError):
+            AccumulatorParams(n=6, x0=2)
+
+    def test_bad_base(self):
+        with pytest.raises(ParameterError):
+            AccumulatorParams(n=77, x0=1)
+
+
+class TestDigestToExponent:
+    def test_odd_and_sized(self):
+        for data in (b"", b"a", b"fragment-bytes"):
+            e = digest_to_exponent(data)
+            assert e % 2 == 1
+            assert e.bit_length() == 128
+
+    def test_distinct(self):
+        exps = {digest_to_exponent(f"m{i}".encode()) for i in range(1000)}
+        assert len(exps) == 1000
+
+    def test_bits_bounds(self):
+        with pytest.raises(ParameterError):
+            digest_to_exponent(b"x", bits=8)
+        with pytest.raises(ParameterError):
+            digest_to_exponent(b"x", bits=300)
+
+
+class TestQuasiCommutativity:
+    """Equation 9: accumulation order does not matter."""
+
+    def test_all_permutations(self, acc):
+        items = [b"y1", b"y2", b"y3"]
+        values = {
+            acc.accumulate_all(list(order))
+            for order in itertools.permutations(items)
+        }
+        assert len(values) == 1
+
+    def test_step_equals_batch(self, acc):
+        items = [b"a", b"b", b"c", b"d"]
+        stepped = acc.params.x0
+        for item in items:
+            stepped = acc.step(stepped, item)
+        assert stepped == acc.accumulate_all(items)
+
+    def test_verify(self, acc):
+        items = [b"f0", b"f1", b"f2"]
+        expected = acc.accumulate_all(items)
+        assert acc.verify(items, expected)
+        assert not acc.verify([b"f0", b"f1", b"TAMPERED"], expected)
+
+    def test_single_bit_change_detected(self, acc):
+        base = [b"fragment-0", b"fragment-1"]
+        tampered = [b"fragment-0", b"fragment-2"]
+        assert acc.accumulate_all(base) != acc.accumulate_all(tampered)
+
+    def test_int_exponents_accepted(self, acc):
+        assert acc.accumulate_all([3, 5]) == acc.accumulate_all([5, 3])
+
+    def test_exponent_one_rejected(self, acc):
+        with pytest.raises(ParameterError):
+            acc.step(acc.params.x0, 1)
+
+
+class TestWitnesses:
+    def test_membership(self, acc):
+        items = [b"w0", b"w1", b"w2", b"w3"]
+        total = acc.accumulate_all(items)
+        for i, item in enumerate(items):
+            witness = acc.witness(items, i)
+            assert acc.verify_membership(item, witness, total)
+
+    def test_non_membership(self, acc):
+        items = [b"w0", b"w1", b"w2"]
+        total = acc.accumulate_all(items)
+        witness = acc.witness(items, 0)
+        assert not acc.verify_membership(b"intruder", witness, total)
+
+    def test_witness_index_bounds(self, acc):
+        with pytest.raises(ParameterError):
+            acc.witness([b"only"], 1)

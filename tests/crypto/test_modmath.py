@@ -1,0 +1,127 @@
+"""Tests for modular-arithmetic helpers."""
+
+import pytest
+
+from repro.crypto.modmath import (
+    bytes_to_int,
+    crt,
+    egcd,
+    find_generator,
+    find_safe_prime_generator,
+    find_subgroup_generator,
+    int_to_bytes,
+    is_quadratic_residue,
+    jacobi,
+    modinv,
+)
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ParameterError
+
+
+class TestEgcdInv:
+    def test_egcd_identity(self):
+        for a, b in [(12, 18), (35, 64), (0, 5), (7, 0), (1, 1), (270, 192)]:
+            g, x, y = egcd(a, b)
+            assert a * x + b * y == g
+
+    def test_modinv_roundtrip(self):
+        m = 1_000_003  # prime
+        for a in (1, 2, 999, 123456, m - 1):
+            assert (a * modinv(a, m)) % m == 1
+
+    def test_modinv_noninvertible(self):
+        with pytest.raises(ParameterError):
+            modinv(6, 12)
+
+    def test_modinv_negative_input(self):
+        m = 97
+        inv = modinv(-3 % m, m)
+        assert (-3 * inv) % m == 1
+
+
+class TestCrt:
+    def test_basic(self):
+        x = crt([2, 3, 2], [3, 5, 7])
+        assert x % 3 == 2 and x % 5 == 3 and x % 7 == 2
+        assert x == 23
+
+    def test_single(self):
+        assert crt([5], [9]) == 5
+
+    def test_noncoprime_rejected(self):
+        with pytest.raises(ParameterError):
+            crt([1, 2], [4, 6])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            crt([1], [3, 5])
+
+    def test_empty(self):
+        with pytest.raises(ParameterError):
+            crt([], [])
+
+
+class TestJacobiQr:
+    def test_jacobi_prime_matches_euler(self):
+        p = 103
+        for a in range(1, p):
+            expected = 1 if pow(a, (p - 1) // 2, p) == 1 else -1
+            assert jacobi(a, p) == expected
+
+    def test_jacobi_zero(self):
+        assert jacobi(0, 7) == 0
+        assert jacobi(21, 7) == 0
+
+    def test_jacobi_even_n_rejected(self):
+        with pytest.raises(ParameterError):
+            jacobi(3, 8)
+
+    def test_quadratic_residues(self):
+        p = 23
+        squares = {pow(x, 2, p) for x in range(1, p)}
+        for a in range(1, p):
+            assert is_quadratic_residue(a, p) == (a in squares)
+
+    def test_zero_not_qr(self):
+        assert not is_quadratic_residue(0, 23)
+
+
+class TestGenerators:
+    def test_safe_prime_generator(self):
+        p = 23  # = 2*11 + 1, safe
+        g = find_safe_prime_generator(p, DeterministicRng(b"gen"))
+        seen = set()
+        value = 1
+        for _ in range(p - 1):
+            value = (value * g) % p
+            seen.add(value)
+        assert len(seen) == p - 1  # full multiplicative group
+
+    def test_subgroup_generator_order(self):
+        p, q = 23, 11
+        g = find_subgroup_generator(p, q, DeterministicRng(b"sub"))
+        assert pow(g, q, p) == 1
+        assert g != 1
+
+    def test_subgroup_requires_divisor(self):
+        with pytest.raises(ParameterError):
+            find_subgroup_generator(23, 7, DeterministicRng(b"x"))
+
+    def test_find_generator_with_factors(self):
+        p = 13  # p-1 = 12 = 2^2 * 3
+        g = find_generator(p, [2, 3], DeterministicRng(b"g"))
+        values = {pow(g, k, p) for k in range(1, p)}
+        assert len(values) == p - 1
+
+
+class TestByteCodec:
+    def test_roundtrip(self):
+        for value in (0, 1, 255, 256, 2**64, 2**255 - 19):
+            assert bytes_to_int(int_to_bytes(value)) == value
+
+    def test_zero_is_one_byte(self):
+        assert int_to_bytes(0) == b"\x00"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            int_to_bytes(-1)

@@ -1,0 +1,145 @@
+"""Tests for the Pohlig-Hellman commutative cipher (paper §3 eq. 6-7)."""
+
+import pytest
+
+from repro.crypto.pohlig_hellman import (
+    CommutativeKey,
+    MessageEncoder,
+    PohligHellmanCipher,
+    shared_prime,
+)
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def ciphers(prime64):
+    rng = DeterministicRng(b"ph")
+    return [PohligHellmanCipher.generate(prime64, rng) for _ in range(3)]
+
+
+class TestKeyPairs:
+    def test_generate_valid(self, prime64, rng):
+        cipher = PohligHellmanCipher.generate(prime64, rng)
+        assert (cipher.key.e * cipher.key.d) % (prime64 - 1) == 1
+
+    def test_invalid_pair_rejected(self, prime64):
+        with pytest.raises(ParameterError):
+            CommutativeKey(p=prime64, e=3, d=3)
+
+    def test_roundtrip(self, ciphers, prime64):
+        m = 123456789 % prime64
+        for cipher in ciphers:
+            assert cipher.decrypt(cipher.encrypt(m)) == m
+
+    def test_zero_rejected(self, ciphers):
+        with pytest.raises(ParameterError):
+            ciphers[0].encrypt(0)
+
+
+class TestCommutativity:
+    """Equation 6: any encryption order yields the same ciphertext."""
+
+    def test_two_party(self, ciphers):
+        a, b = ciphers[0], ciphers[1]
+        m = 987654321
+        assert a.encrypt(b.encrypt(m)) == b.encrypt(a.encrypt(m))
+
+    def test_three_party_all_orders(self, ciphers):
+        import itertools
+
+        m = 42424242
+        results = set()
+        for order in itertools.permutations(ciphers):
+            value = m
+            for cipher in order:
+                value = cipher.encrypt(value)
+            results.add(value)
+        assert len(results) == 1
+
+    def test_decrypt_any_order(self, ciphers):
+        a, b, c = ciphers
+        m = 31337
+        enc = a.encrypt(b.encrypt(c.encrypt(m)))
+        assert b.decrypt(a.decrypt(c.decrypt(enc))) == m
+
+    def test_distinct_plaintexts_stay_distinct(self, ciphers):
+        """Equation 7: encryption is injective layer by layer."""
+        a, b = ciphers[0], ciphers[1]
+        seen = set()
+        for m in range(2, 200):
+            seen.add(a.encrypt(b.encrypt(m)))
+        assert len(seen) == 198
+
+    def test_set_helpers(self, ciphers):
+        cipher = ciphers[0]
+        values = [2, 3, 5, 7]
+        assert cipher.decrypt_set(cipher.encrypt_set(values)) == values
+
+
+class TestMessageEncoder:
+    def test_hashed_deterministic(self, prime64):
+        enc = MessageEncoder(prime64)
+        assert enc.encode_hashed("abc") == enc.encode_hashed("abc")
+
+    def test_hashed_type_separation(self, prime64):
+        """'1' (str) and 1 (int) and b'1' must encode differently."""
+        enc = MessageEncoder(prime64)
+        encodings = {
+            enc.encode_hashed("1"),
+            enc.encode_hashed(1),
+            enc.encode_hashed(b"1"),
+            enc.encode_hashed(True),
+        }
+        assert len(encodings) == 4
+
+    def test_hashed_negative_int(self, prime64):
+        enc = MessageEncoder(prime64)
+        assert enc.encode_hashed(-5) != enc.encode_hashed(5)
+
+    def test_hashed_lands_in_group(self, prime64):
+        enc = MessageEncoder(prime64)
+        for value in ("x", "y", 123, b"raw"):
+            element = enc.encode_hashed(value)
+            assert 0 < element < prime64
+
+    def test_hashed_collision_free_sample(self, prime64):
+        enc = MessageEncoder(prime64)
+        encodings = {enc.encode_hashed(f"item-{i}") for i in range(2000)}
+        assert len(encodings) == 2000
+
+    def test_unsupported_type(self, prime64):
+        with pytest.raises(ParameterError):
+            MessageEncoder(prime64).encode_hashed(3.14)
+
+    def test_int_roundtrip(self, prime64):
+        enc = MessageEncoder(prime64)
+        for value in (0, 1, 2, 1000, prime64 // 4 - 1):
+            assert enc.decode_int(enc.encode_int(value)) == value
+
+    def test_int_out_of_range(self, prime64):
+        enc = MessageEncoder(prime64)
+        with pytest.raises(ParameterError):
+            enc.encode_int(-1)
+        with pytest.raises(ParameterError):
+            enc.encode_int(prime64 // 4)
+
+    def test_int_encoding_survives_encryption(self, prime64, ciphers):
+        """Reversible encoding + full encrypt/decrypt cycle recovers ints."""
+        enc = MessageEncoder(prime64)
+        a, b, c = ciphers
+        for value in (0, 7, 99999):
+            element = enc.encode_int(value)
+            wrapped = c.encrypt(a.encrypt(b.encrypt(element)))
+            unwrapped = b.decrypt(c.decrypt(a.decrypt(wrapped)))
+            assert enc.decode_int(unwrapped) == value
+
+    def test_small_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            MessageEncoder(11)
+
+
+class TestSharedPrime:
+    def test_shape(self):
+        p = shared_prime(64)
+        assert p.bit_length() == 64

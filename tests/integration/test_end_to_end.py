@@ -1,0 +1,151 @@
+"""End-to-end scenarios: the paper's motivating applications, full stack."""
+
+import pytest
+
+from repro.core import (
+    ApplicationNode,
+    AtomicityRule,
+    Auditor,
+    ConfidentialAuditingService,
+    CorrelationRule,
+    IrregularPatternRule,
+    NonRepudiationRule,
+)
+from repro.crypto import DeterministicRng
+from repro.logstore import paper_fragment_plan, paper_table1_schema
+from repro.smc.sum_ import secure_sum
+from repro.workloads import EcommerceWorkload, IntrusionWorkload, LibraryWorkload
+
+
+@pytest.fixture(scope="module")
+def service():
+    schema = paper_table1_schema()
+    return ConfidentialAuditingService(
+        schema,
+        paper_fragment_plan(schema),
+        prime_bits=64,
+        rng=DeterministicRng(b"e2e"),
+    )
+
+
+class TestEcommerceScenario:
+    @pytest.fixture(scope="class")
+    def world(self, service):
+        workload = EcommerceWorkload(users=("U1", "U2", "U3"), seed=5)
+        nodes = {
+            uid: ApplicationNode.register(f"shop-{uid}", service)
+            for uid in workload.users
+        }
+        transactions = workload.tampered_transactions(6, drop_confirm_every=3)
+        for transaction in transactions:
+            for step, event in enumerate(transaction.events):
+                # Each executor logs its own events through its own node.
+                node = nodes[event.executor]
+                values = event.log_values(transaction.tsn, transaction.ttn, step)
+                values["id"] = event.executor
+                node.service.log_event(values, node.ticket)
+        return nodes, transactions
+
+    def test_atomicity_catches_dropped_confirms(self, service, world):
+        _, transactions = world
+        auditor = Auditor("acct", service)
+        verdicts = [
+            auditor.check_rule(AtomicityRule(tsn=t.tsn, width=2))
+            for t in transactions
+        ]
+        failed = [v for v in verdicts if not v.passed]
+        assert len(failed) == 2  # every third of six transactions was cut
+
+    def test_non_repudiation(self, service, world):
+        _, transactions = world
+        complete = next(t for t in transactions if len(t.events) == 2)
+        auditor = Auditor("acct", service)
+        verdict = auditor.check_rule(
+            NonRepudiationRule(tsn=complete.tsn, parties=tuple(complete.executors))
+        )
+        assert verdict.passed
+
+    def test_signed_transaction_report(self, service, world):
+        _, transactions = world
+        auditor = Auditor("acct", service)
+        report = auditor.audited_query(f"Tid = '{transactions[0].tsn}'")
+        assert service.verify_report(report)
+
+
+class TestIntrusionScenario:
+    @pytest.fixture(scope="class")
+    def trace_service(self):
+        schema = paper_table1_schema()
+        service = ConfidentialAuditingService(
+            schema, paper_fragment_plan(schema), prime_bits=64,
+            rng=DeterministicRng(b"ids"),
+        )
+        workload = IntrusionWorkload(seed=11)
+        rows, campaigns = workload.mixed_trace(
+            benign=30, probe_per_host=3, stuffing_per_host=2
+        )
+        node = ApplicationNode.register("collector", service)
+        for row in rows:
+            service.log_event(row, node.ticket)
+        return service, campaigns
+
+    def test_distributed_probe_detected_globally(self, trace_service):
+        """Each host saw <= 3 probes (under a per-host alarm of 5), but the
+        global confidential count crosses the cluster-wide threshold."""
+        service, campaigns = trace_service
+        probe = next(c for c in campaigns if c.name == "distributed-probe")
+        auditor = Auditor("ids", service)
+        # Per-host counts stay under a local threshold of 5.
+        for host in probe.hosts:
+            local = auditor.query(f"C3 = 'probe' and id = '{host}'")
+            assert local.count <= 5
+        # The aggregated rule fires.
+        verdict = auditor.check_rule(
+            IrregularPatternRule(criterion="C3 = 'probe'", threshold=5)
+        )
+        assert not verdict.passed  # alarm: aggregate exceeds threshold
+        assert len(verdict.evidence_glsns) == probe.total_events
+
+    def test_correlation_links_hosts(self, trace_service):
+        service, campaigns = trace_service
+        probe = next(c for c in campaigns if c.name == "distributed-probe")
+        host_a, host_b = probe.hosts[0], probe.hosts[1]
+        auditor = Auditor("ids", service)
+        verdict = auditor.check_rule(
+            CorrelationRule(
+                left_criterion=f"C3 = 'probe' and id = '{host_a}'",
+                right_criterion=f"C3 = 'probe' and id = '{host_b}'",
+            )
+        )
+        assert verdict.passed  # both hosts saw the campaign
+
+    def test_attacker_fingerprint_aggregates(self, trace_service):
+        service, campaigns = trace_service
+        probe = next(c for c in campaigns if c.name == "distributed-probe")
+        result = service.query(f"C2 = '{probe.attacker}'")
+        assert result.count == probe.total_events
+
+
+class TestLibraryScenario:
+    """Ref [7]'s secret counting via the relaxed secure sum."""
+
+    def test_secret_count_across_branches(self, prime64):
+        from repro.smc.base import SmcContext
+
+        workload = LibraryWorkload(seed=3)
+        rows = workload.activity_rows(90)
+        counts = workload.per_branch_counts(rows, "search")
+        ctx = SmcContext(prime64, DeterministicRng(b"lib"))
+        result = secure_sum(ctx, counts, observers=list(workload.branches)[:1])
+        expected = sum(counts.values())
+        assert result.value_for(workload.branches[0]) == expected
+
+    def test_records_located_total(self, prime64):
+        from repro.smc.base import SmcContext
+
+        workload = LibraryWorkload(seed=4)
+        rows = workload.activity_rows(90)
+        located = workload.per_branch_records_located(rows)
+        ctx = SmcContext(prime64, DeterministicRng(b"lib2"))
+        result = secure_sum(ctx, located)
+        assert result.any_value == sum(located.values())

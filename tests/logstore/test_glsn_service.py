@@ -1,0 +1,97 @@
+"""Tests for the networked glsn coordination protocol."""
+
+import pytest
+
+from repro.errors import LogStoreError, ProtocolAbortError
+from repro.logstore.glsn_service import GlsnClient, GlsnCoordinator, audit_grants
+from repro.net.message import Message
+from repro.net.simnet import SimNetwork
+
+
+@pytest.fixture()
+def cluster():
+    net = SimNetwork()
+    coordinator = GlsnCoordinator("P0", start=100, block_size=4)
+    clients = {
+        node_id: GlsnClient(node_id, "P0", block_size=4)
+        for node_id in ("P1", "P2", "P3")
+    }
+    net.register("P0", coordinator.handle)
+    for node_id, client in clients.items():
+        net.register(node_id, client.handle)
+    return net, coordinator, clients
+
+
+class TestLeasing:
+    def test_single_lease(self, cluster):
+        net, _, clients = cluster
+        clients["P1"].request_lease(net)
+        net.run()
+        assert clients["P1"].has_lease
+        values = [clients["P1"].allocate() for _ in range(4)]
+        assert values == [100, 101, 102, 103]
+
+    def test_disjoint_across_clients(self, cluster):
+        net, _, clients = cluster
+        for client in clients.values():
+            client.request_lease(net)
+        net.run()
+        everything = []
+        for client in clients.values():
+            everything.extend(client.allocate() for _ in range(4))
+        assert len(set(everything)) == 12
+
+    def test_relesing_after_exhaustion(self, cluster):
+        net, _, clients = cluster
+        client = clients["P1"]
+        client.request_lease(net)
+        net.run()
+        first = [client.allocate() for _ in range(4)]
+        assert not client.has_lease
+        client.request_lease(net)
+        net.run()
+        second = [client.allocate() for _ in range(4)]
+        assert not set(first) & set(second)
+
+    def test_allocate_without_lease(self, cluster):
+        _, _, clients = cluster
+        with pytest.raises(LogStoreError):
+            clients["P1"].allocate()
+
+    def test_custom_count(self, cluster):
+        net, _, clients = cluster
+        clients["P2"].request_lease(net, count=10)
+        net.run()
+        assert clients["P2"].remaining == 10
+
+    def test_unexpected_message_kinds(self, cluster):
+        net, coordinator, clients = cluster
+        with pytest.raises(ProtocolAbortError):
+            coordinator.handle(Message(src="x", dst="P0", kind="bogus"), net)
+        with pytest.raises(ProtocolAbortError):
+            clients["P1"].handle(Message(src="x", dst="P1", kind="bogus"), net)
+
+
+class TestMutualMonitoring:
+    def test_honest_grant_log_clean(self, cluster):
+        net, coordinator, clients = cluster
+        for client in clients.values():
+            client.request_lease(net)
+        net.run()
+        assert audit_grants(coordinator.grant_log()) == []
+
+    def test_overlapping_grants_detected(self):
+        forged = [("P1", 100, 110), ("P2", 105, 115), ("P3", 120, 130)]
+        overlaps = audit_grants(forged)
+        assert overlaps == [(105, 110)]
+
+    def test_duplicate_grant_detected(self):
+        forged = [("P1", 100, 104), ("P2", 100, 104)]
+        assert audit_grants(forged) == [(100, 104)]
+
+    def test_grant_log_shape(self, cluster):
+        net, coordinator, clients = cluster
+        clients["P1"].request_lease(net)
+        net.run()
+        log = coordinator.grant_log()
+        assert log == [("P1", 100, 104)]

@@ -1,0 +1,91 @@
+"""Tests for §4.1 distributed integrity cross-checking."""
+
+import pytest
+
+from repro.errors import IntegrityError, ProtocolAbortError
+from repro.logstore.integrity import IntegrityChecker, run_integrity_round
+from repro.net.simnet import SimNetwork
+
+
+class TestInProcessChecker:
+    def test_clean_store(self, populated_store):
+        store, _, _ = populated_store
+        checker = IntegrityChecker(store)
+        reports = checker.check_all()
+        assert len(reports) == 5
+        assert all(r.ok for r in reports)
+        checker.require_clean()
+
+    def test_single_value_tamper_detected(self, populated_store):
+        store, _, receipts = populated_store
+        store.node_store("P1").tamper(receipts[2].glsn, "C2", "999999.99")
+        checker = IntegrityChecker(store)
+        bad = [r for r in checker.check_all() if not r.ok]
+        assert [r.glsn for r in bad] == [receipts[2].glsn]
+
+    def test_require_clean_raises_with_glsn(self, populated_store):
+        store, _, receipts = populated_store
+        store.node_store("P2").tamper(receipts[0].glsn, "C3", "forged")
+        with pytest.raises(IntegrityError) as excinfo:
+            IntegrityChecker(store).require_clean()
+        assert format(receipts[0].glsn, "x") in str(excinfo.value)
+
+    def test_tamper_on_every_node_detected(self, populated_store):
+        """Any single compromised node is caught regardless of which."""
+        store, _, receipts = populated_store
+        for i, node_id in enumerate(store.stores):
+            target = receipts[i].glsn
+            attr = store.plan.assignment[node_id][0]
+            store.node_store(node_id).tamper(target, attr, "EVIL")
+        reports = IntegrityChecker(store).check_all()
+        bad = {r.glsn for r in reports if not r.ok}
+        assert bad == {r.glsn for r in receipts[:4]}
+
+    def test_added_attribute_detected(self, populated_store):
+        """Tampering by *adding* a value also changes the digest."""
+        store, _, receipts = populated_store
+        store.node_store("P0").tamper(receipts[1].glsn, "C4", "injected")
+        assert not IntegrityChecker(store).check_glsn(receipts[1].glsn).ok
+
+
+class TestRingProtocol:
+    def test_clean_round(self, populated_store):
+        store, _, _ = populated_store
+        reports = run_integrity_round(store)
+        assert len(reports) == 5 and all(r.ok for r in reports)
+
+    def test_detects_tamper(self, populated_store):
+        store, _, receipts = populated_store
+        store.node_store("P3").tamper(receipts[4].glsn, "C1", 0)
+        reports = run_integrity_round(store)
+        verdicts = {r.glsn: r.ok for r in reports}
+        assert verdicts[receipts[4].glsn] is False
+        assert sum(not ok for ok in verdicts.values()) == 1
+
+    def test_message_cost_linear_in_nodes(self, populated_store):
+        """One glsn check = n-1 passes + 1 done message."""
+        store, _, receipts = populated_store
+        net = SimNetwork()
+        run_integrity_round(store, glsns=[receipts[0].glsn], net=net)
+        n = len(store.stores)
+        assert net.stats.messages == n  # (n-1) integ.pass + 1 integ.done
+
+    def test_any_initiator(self, populated_store):
+        store, _, receipts = populated_store
+        for initiator in store.stores:
+            reports = run_integrity_round(
+                store, glsns=[receipts[0].glsn], initiator=initiator
+            )
+            assert reports[0].ok
+
+    def test_unknown_initiator(self, populated_store):
+        store, _, _ = populated_store
+        with pytest.raises(ProtocolAbortError):
+            run_integrity_round(store, initiator="P99")
+
+    def test_agrees_with_in_process(self, populated_store):
+        store, _, receipts = populated_store
+        store.node_store("P1").tamper(receipts[1].glsn, "id", "Ux")
+        ring = {r.glsn: r.ok for r in run_integrity_round(store)}
+        local = {r.glsn: r.ok for r in IntegrityChecker(store).check_all()}
+        assert ring == local

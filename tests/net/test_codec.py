@@ -1,0 +1,130 @@
+"""Tests for the wire codec (framing, big ints, bytes)."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.net.codec import (
+    decode_frames,
+    decode_message,
+    encode_frame,
+    encode_message,
+    encoded_size,
+)
+from repro.net.message import Message
+
+
+def roundtrip(payload):
+    msg = Message(src="A", dst="B", kind="k", payload=payload)
+    return decode_message(encode_message(msg)).payload
+
+
+class TestPayloadRoundtrip:
+    def test_primitives(self):
+        for payload in (None, 0, 1, -1, 3.5, "text", True, False):
+            assert roundtrip(payload) == payload
+
+    def test_big_ints(self):
+        for value in (2**53, -(2**53), 2**256 + 12345, -(2**300)):
+            assert roundtrip(value) == value
+
+    def test_boundary_ints(self):
+        for value in (2**53 - 1, -(2**53) + 1):
+            assert roundtrip(value) == value
+
+    def test_bytes(self):
+        assert roundtrip(b"\x00\xff\x10raw") == b"\x00\xff\x10raw"
+        assert roundtrip(b"") == b""
+
+    def test_nested_structures(self):
+        payload = {
+            "list": [1, 2**200, "x", b"\x01"],
+            "nested": {"deep": [{"n": 2**64}]},
+        }
+        assert roundtrip(payload) == payload
+
+    def test_tuple_becomes_list(self):
+        assert roundtrip((1, 2)) == [1, 2]
+
+    def test_bools_stay_bools(self):
+        out = roundtrip({"flag": True})
+        assert out["flag"] is True
+
+    def test_reserved_key_rejected(self):
+        with pytest.raises(CodecError):
+            roundtrip({"__bigint__": "ff"})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(CodecError):
+            roundtrip({1: "x"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CodecError):
+            roundtrip({"x": object()})
+
+
+class TestMessageFields:
+    def test_headers_preserved(self):
+        msg = Message(src="P0", dst="P1", kind="ssi.relay", payload={"a": 1})
+        out = decode_message(encode_message(msg))
+        assert (out.src, out.dst, out.kind, out.seq) == ("P0", "P1", "ssi.relay", msg.seq)
+
+    def test_size_stamped(self):
+        msg = Message(src="a", dst="b", kind="k", payload="x" * 100)
+        out = decode_message(encode_message(msg))
+        assert out.size_bytes == encoded_size(msg)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CodecError):
+            decode_message(b"\xff\xfe not json")
+        with pytest.raises(CodecError):
+            decode_message(b"{}")
+
+
+class TestFraming:
+    def test_single_frame(self):
+        msg = Message(src="a", dst="b", kind="k", payload=[1, 2, 3])
+        buffer = bytearray(encode_frame(msg))
+        out = decode_frames(buffer)
+        assert len(out) == 1 and out[0].payload == [1, 2, 3]
+        assert not buffer  # fully consumed
+
+    def test_multiple_frames(self):
+        buffer = bytearray()
+        for i in range(5):
+            buffer += encode_frame(Message(src="a", dst="b", kind="k", payload=i))
+        out = decode_frames(buffer)
+        assert [m.payload for m in out] == [0, 1, 2, 3, 4]
+
+    def test_partial_frame_waits(self):
+        frame = encode_frame(Message(src="a", dst="b", kind="k", payload="hello"))
+        buffer = bytearray(frame[:-3])
+        assert decode_frames(buffer) == []
+        assert len(buffer) == len(frame) - 3  # untouched
+        buffer += frame[-3:]
+        assert len(decode_frames(buffer)) == 1
+
+    def test_length_bomb_rejected(self):
+        buffer = bytearray((1 << 30).to_bytes(4, "big") + b"x")
+        with pytest.raises(CodecError):
+            decode_frames(buffer)
+
+
+class TestMessageHelpers:
+    def test_reply_addresses_sender(self):
+        msg = Message(src="A", dst="B", kind="req", payload=1)
+        reply = msg.reply("resp", 2)
+        assert (reply.src, reply.dst, reply.kind, reply.payload) == ("B", "A", "resp", 2)
+
+    def test_forwarded_keeps_kind(self):
+        msg = Message(src="A", dst="B", kind="ring", payload=[1])
+        fwd = msg.forwarded("C")
+        assert (fwd.src, fwd.dst, fwd.kind, fwd.payload) == ("B", "C", "ring", [1])
+
+    def test_forwarded_new_payload(self):
+        msg = Message(src="A", dst="B", kind="ring", payload=[1])
+        fwd = msg.forwarded("C", payload=[2])
+        assert fwd.payload == [2]
+
+    def test_sequence_unique(self):
+        seqs = {Message(src="a", dst="b", kind="k").seq for _ in range(100)}
+        assert len(seqs) == 100

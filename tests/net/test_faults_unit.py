@@ -1,0 +1,70 @@
+"""Unit tests for the fault-injection layer itself."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.errors import ConfigurationError
+from repro.net.faults import FaultPlan, TamperRule
+from repro.net.message import Message
+
+
+class TestFaultPlanUnit:
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(corrupt_rate=-0.1)
+
+    def test_decide_clean_by_default(self):
+        plan = FaultPlan()
+        decision = plan.decide(Message(src="a", dst="b", kind="k"))
+        assert not decision.drop and not decision.duplicate
+        assert decision.extra_delay == 0.0
+
+    def test_drop_rate_statistics(self):
+        plan = FaultPlan(drop_rate=0.5, rng=DeterministicRng(b"stats"))
+        drops = sum(
+            plan.decide(Message(src="a", dst="b", kind="k")).drop
+            for _ in range(400)
+        )
+        assert 120 < drops < 280  # loose band around 200
+
+    def test_partition_directional_bookkeeping(self):
+        plan = FaultPlan()
+        plan.partition("a", "b")
+        assert plan.is_partitioned("a", "b") and plan.is_partitioned("b", "a")
+        plan.heal("b", "a")
+        assert not plan.is_partitioned("a", "b")
+
+    def test_crash_and_recover(self):
+        plan = FaultPlan()
+        plan.crash("x")
+        assert plan.is_partitioned("x", "y") and plan.is_partitioned("y", "x")
+        plan.recover("x")
+        assert not plan.is_partitioned("x", "y")
+
+    def test_corrupt_flag(self):
+        plan = FaultPlan(corrupt_rate=1.0, rng=DeterministicRng(b"c"))
+        decision = plan.decide(Message(src="a", dst="b", kind="k"))
+        assert decision.corrupt
+
+
+class TestTamperRule:
+    def test_fires_once_on_matching_kind(self):
+        rule = TamperRule(kind="integ.pass", mutate=lambda p: {**p, "value": 0})
+        msg = Message(src="a", dst="b", kind="integ.pass", payload={"value": 7})
+        first = rule.apply(msg)
+        assert first.payload == {"value": 0}
+        second = rule.apply(msg)
+        assert second.payload == {"value": 7}  # already fired
+
+    def test_ignores_other_kinds(self):
+        rule = TamperRule(kind="integ.pass", mutate=lambda p: None)
+        msg = Message(src="a", dst="b", kind="other", payload={"v": 1})
+        assert rule.apply(msg) is msg
+        assert not rule.fired
+
+    def test_no_mutator_is_noop(self):
+        rule = TamperRule(kind="k")
+        msg = Message(src="a", dst="b", kind="k", payload=1)
+        assert rule.apply(msg) is msg

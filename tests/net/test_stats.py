@@ -1,0 +1,61 @@
+"""Tests for cost accounting structures."""
+
+from repro.net.stats import CostReport, CryptoOpCounter, NetworkStats
+
+
+class TestNetworkStats:
+    def test_record(self):
+        stats = NetworkStats()
+        stats.record("ssi.relay", 100, "A", "B")
+        stats.record("ssi.relay", 50, "B", "C")
+        stats.record("ssi.full", 10, "C", "A")
+        assert stats.messages == 3
+        assert stats.bytes == 160
+        assert stats.by_kind["ssi.relay"] == 2
+        assert stats.bytes_by_kind["ssi.relay"] == 150
+        assert stats.by_link[("A", "B")] == 1
+
+    def test_snapshot_is_plain(self):
+        stats = NetworkStats()
+        stats.record("k", 5, "a", "b")
+        snap = stats.snapshot()
+        assert snap == {"messages": 1, "bytes": 5, "dropped": 0, "by_kind": {"k": 1}}
+
+    def test_reset(self):
+        stats = NetworkStats()
+        stats.record("k", 5, "a", "b")
+        stats.record_drop()
+        stats.reset()
+        assert stats.messages == 0 and stats.dropped == 0 and not stats.by_kind
+
+
+class TestCryptoOpCounter:
+    def test_modexp_aggregation(self):
+        ops = CryptoOpCounter()
+        ops.add("P0.modexp", 5)
+        ops.add("P1.modexp", 3)
+        ops.add("P0.hash", 100)
+        assert ops.modexp == 8
+
+    def test_reset(self):
+        ops = CryptoOpCounter()
+        ops.add("x.modexp")
+        ops.reset()
+        assert ops.modexp == 0
+
+
+class TestCostReport:
+    def test_collect(self):
+        stats = NetworkStats()
+        stats.record("k", 7, "a", "b")
+        ops = CryptoOpCounter()
+        ops.add("total.modexp", 11)
+        report = CostReport.collect(stats, ops, virtual_time=1.5)
+        assert report.messages == 1
+        assert report.bytes == 7
+        assert report.modexp == 11
+        assert report.virtual_time == 1.5
+
+    def test_collect_without_crypto(self):
+        report = CostReport.collect(NetworkStats())
+        assert report.crypto_ops == {} and report.modexp == 0

@@ -1,0 +1,108 @@
+"""Integration tests for the real-socket transport."""
+
+import threading
+
+import pytest
+
+from repro.errors import NodeUnreachableError, TransportClosedError
+from repro.net.message import Message
+from repro.net.transport_tcp import TcpCluster, TcpNode
+
+
+class TestTcpNode:
+    def test_send_receive_pull_style(self):
+        with TcpCluster(["A", "B"]) as cluster:
+            cluster["A"].send(Message(src="A", dst="B", kind="k", payload={"v": 1}))
+            msg = cluster["B"].receive(timeout=5.0)
+            assert msg.payload == {"v": 1} and msg.src == "A"
+
+    def test_handler_dispatch(self):
+        with TcpCluster(["A", "B"]) as cluster:
+            got = threading.Event()
+            seen = []
+
+            def handler(msg, node):
+                seen.append(msg.payload)
+                got.set()
+
+            cluster["B"].set_handler(handler)
+            cluster["A"].send(Message(src="A", dst="B", kind="k", payload=2**200))
+            assert got.wait(5.0)
+            assert seen == [2**200]
+
+    def test_bidirectional(self):
+        with TcpCluster(["A", "B"]) as cluster:
+            done = threading.Event()
+            answers = []
+
+            def ponger(msg, node):
+                node.send(msg.reply("pong", msg.payload + 1))
+
+            def collector(msg, node):
+                answers.append(msg.payload)
+                done.set()
+
+            cluster["B"].set_handler(ponger)
+            cluster["A"].set_handler(collector)
+            cluster["A"].send(Message(src="A", dst="B", kind="ping", payload=41))
+            assert done.wait(5.0)
+            assert answers == [42]
+
+    def test_many_messages_ordered_per_link(self):
+        with TcpCluster(["A", "B"]) as cluster:
+            seen = []
+            done = threading.Event()
+
+            def handler(msg, node):
+                seen.append(msg.payload)
+                if len(seen) == 50:
+                    done.set()
+
+            cluster["B"].set_handler(handler)
+            for i in range(50):
+                cluster["A"].send(Message(src="A", dst="B", kind="k", payload=i))
+            assert done.wait(10.0)
+            assert seen == list(range(50))  # single TCP stream preserves order
+
+    def test_unknown_peer(self):
+        with TcpCluster(["A"]) as cluster:
+            with pytest.raises(NodeUnreachableError):
+                cluster["A"].send(Message(src="A", dst="nowhere", kind="k"))
+
+    def test_closed_transport_rejects_send(self):
+        node = TcpNode("solo")
+        node.learn_peers({"solo": node.address})
+        node.close()
+        with pytest.raises(TransportClosedError):
+            node.send(Message(src="solo", dst="solo", kind="k"))
+
+    def test_receive_timeout(self):
+        with TcpCluster(["A"]) as cluster:
+            with pytest.raises(TransportClosedError):
+                cluster["A"].receive(timeout=0.2)
+
+    def test_stats_counted(self):
+        with TcpCluster(["A", "B"]) as cluster:
+            cluster["A"].send(Message(src="A", dst="B", kind="data", payload="x"))
+            cluster["B"].receive(timeout=5.0)
+            assert cluster["A"].stats.messages == 1
+            assert cluster["A"].stats.by_kind["data"] == 1
+
+    def test_three_node_relay(self):
+        """A -> B -> C relay chain over real sockets."""
+        with TcpCluster(["A", "B", "C"]) as cluster:
+            done = threading.Event()
+            result = []
+
+            def relay(msg, node):
+                node.send(Message(src="B", dst="C", kind="k", payload=msg.payload * 2))
+
+            def sink(msg, node):
+                result.append(msg.payload)
+                done.set()
+
+            cluster["B"].set_handler(relay)
+            cluster["C"].set_handler(sink)
+            cluster["A"].send(Message(src="A", dst="B", kind="k", payload=21))
+            assert done.wait(5.0)
+            assert result == [42]

@@ -1,0 +1,71 @@
+"""Property-based fuzzing of the wire codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.codec import decode_frames, decode_message, encode_frame, encode_message
+from repro.net.message import Message
+
+# JSON-safe payload values our codec must round-trip exactly.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**300), max_value=2**300),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(
+            st.text(max_size=10).filter(
+                lambda k: k not in ("__bigint__", "__bytes__")
+            ),
+            children,
+            max_size=5,
+        ),
+    ),
+    max_leaves=25,
+)
+
+identifiers = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestCodecProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(src=identifiers, dst=identifiers, kind=identifiers, payload=payloads)
+    def test_roundtrip(self, src, dst, kind, payload):
+        msg = Message(src=src, dst=dst, kind=kind, payload=payload)
+        out = decode_message(encode_message(msg))
+        assert (out.src, out.dst, out.kind) == (src, dst, kind)
+        assert out.payload == payload
+
+    @settings(max_examples=50, deadline=None)
+    @given(payloads_list=st.lists(payloads, min_size=1, max_size=5))
+    def test_frame_stream(self, payloads_list):
+        buffer = bytearray()
+        for i, payload in enumerate(payloads_list):
+            buffer += encode_frame(
+                Message(src="a", dst="b", kind=f"k{i}", payload=payload)
+            )
+        out = decode_frames(buffer)
+        assert [m.payload for m in out] == payloads_list
+        assert not buffer
+
+    @settings(max_examples=50, deadline=None)
+    @given(payload=payloads, cut=st.integers(1, 10))
+    def test_partial_frames_never_corrupt(self, payload, cut):
+        frame = encode_frame(Message(src="a", dst="b", kind="k", payload=payload))
+        split = max(1, len(frame) - cut)
+        buffer = bytearray(frame[:split])
+        first = decode_frames(buffer)
+        buffer += frame[split:]
+        second = decode_frames(buffer)
+        messages = first + second
+        assert len(messages) == 1
+        assert messages[0].payload == payload

@@ -1,0 +1,75 @@
+"""Property-based tests for mining and batched comparison."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.pohlig_hellman import shared_prime
+from repro.crypto.rng import DeterministicRng
+from repro.mining.size_protocol import secure_intersection_size
+from repro.smc.base import SmcContext
+from repro.smc.comparison import secure_compare_batch
+
+PRIME = shared_prime(64)
+FAST = settings(max_examples=20, deadline=None)
+
+
+def fresh_ctx(seed: int) -> SmcContext:
+    return SmcContext(PRIME, DeterministicRng(seed))
+
+
+class TestIntersectionSizeProperties:
+    @FAST
+    @given(
+        left=st.lists(st.integers(0, 40), max_size=15),
+        right=st.lists(st.integers(0, 40), max_size=15),
+        seed=st.integers(0, 999),
+    )
+    def test_matches_reference(self, left, right, seed):
+        expected = len(set(left) & set(right))
+        result = secure_intersection_size(
+            fresh_ctx(seed), ("A", left), ("B", right)
+        )
+        assert result.any_value == expected
+
+    @FAST
+    @given(
+        items=st.lists(st.integers(0, 40), max_size=12),
+        seed=st.integers(0, 999),
+    )
+    def test_self_intersection_is_distinct_count(self, items, seed):
+        result = secure_intersection_size(
+            fresh_ctx(seed), ("A", items), ("B", items)
+        )
+        assert result.any_value == len(set(items))
+
+    @FAST
+    @given(
+        left=st.lists(st.integers(0, 20), max_size=10),
+        right=st.lists(st.integers(21, 40), max_size=10),
+        seed=st.integers(0, 999),
+    )
+    def test_disjoint_is_zero(self, left, right, seed):
+        result = secure_intersection_size(
+            fresh_ctx(seed), ("A", left), ("B", right)
+        )
+        assert result.any_value == 0
+
+
+class TestBatchCompareProperties:
+    @FAST
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 10**6), st.integers(0, 10**6)),
+            max_size=20,
+        ),
+        seed=st.integers(0, 999),
+    )
+    def test_matches_python_comparison(self, pairs, seed):
+        left = [a for a, _ in pairs]
+        right = [b for _, b in pairs]
+        result = secure_compare_batch(
+            fresh_ctx(seed), ("A", left), ("B", right), session=f"pb{seed}"
+        )
+        expected = [
+            "lt" if a < b else ("gt" if a > b else "eq") for a, b in pairs
+        ]
+        assert result.any_value == expected

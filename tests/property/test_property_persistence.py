@@ -1,0 +1,50 @@
+"""Property-based tests for store snapshot/restore."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import AccumulatorParams, DeterministicRng, Operation, TicketAuthority
+from repro.logstore.fragmentation import FragmentPlan
+from repro.logstore.integrity import IntegrityChecker
+from repro.logstore.persistence import restore_store, snapshot_store
+from repro.logstore.schema import Attribute, AttributeKind, GlobalSchema
+from repro.logstore.store import DistributedLogStore
+
+SCHEMA = GlobalSchema(
+    [
+        Attribute("a", AttributeKind.INTEGER),
+        Attribute("s", AttributeKind.TEXT),
+        Attribute("C1", AttributeKind.UNDEFINED),
+        Attribute("blob", AttributeKind.UNDEFINED),
+    ]
+)
+PLAN = FragmentPlan(SCHEMA, {"P0": ["a", "s"], "P1": ["C1", "blob"]})
+
+row_strategy = st.fixed_dictionaries(
+    {},
+    optional={
+        "a": st.integers(-(10**9), 10**9),
+        "s": st.text(max_size=25),
+        "C1": st.integers(0, 10**6),
+        "blob": st.binary(max_size=25),
+    },
+).filter(bool)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=st.lists(row_strategy, min_size=1, max_size=8), seed=st.integers(0, 999))
+def test_roundtrip_preserves_everything(rows, seed):
+    authority = TicketAuthority(b"prop-persist-master-secret-32b!!")
+    store = DistributedLogStore(
+        PLAN, authority, AccumulatorParams.generate(128, DeterministicRng(seed))
+    )
+    ticket = authority.issue("U", {Operation.READ, Operation.WRITE})
+    receipts = [store.append(row, ticket) for row in rows]
+
+    restored = restore_store(snapshot_store(store), authority)
+
+    # Records identical, integrity anchors verify, allocator resumes safely.
+    for receipt, row in zip(receipts, rows):
+        assert restored.read_record(receipt.glsn, ticket).values == row
+    assert all(r.ok for r in IntegrityChecker(restored).check_all())
+    fresh = restored.append({"a": 0}, ticket)
+    assert fresh.glsn > max(r.glsn for r in receipts)

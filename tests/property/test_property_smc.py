@@ -1,0 +1,139 @@
+"""Property-based tests for the relaxed-SMC primitives.
+
+Each protocol is compared against its plain-Python reference on random
+inputs: intersection == set.intersection, union == set.union, sum == sum,
+ranking == sorted order, comparison == trichotomy.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.pohlig_hellman import shared_prime
+from repro.crypto.rng import DeterministicRng
+from repro.smc.base import SmcContext
+from repro.smc.comparison import secure_compare
+from repro.smc.equality import secure_equality
+from repro.smc.intersection import secure_set_intersection
+from repro.smc.ranking import secure_ranking
+from repro.smc.sum_ import secure_sum, secure_weighted_sum
+from repro.smc.union_ import secure_set_union
+
+PRIME = shared_prime(64)
+
+# Protocol runs are ~10ms each; cap example counts to keep the suite fast.
+FAST = settings(max_examples=20, deadline=None)
+
+
+def fresh_ctx(seed: int) -> SmcContext:
+    return SmcContext(PRIME, DeterministicRng(seed))
+
+
+small_sets = st.lists(
+    st.lists(st.integers(0, 30), max_size=8),
+    min_size=2,
+    max_size=4,
+)
+
+
+class TestIntersectionProperties:
+    @FAST
+    @given(sets=small_sets, seed=st.integers(0, 999), shuffle=st.booleans())
+    def test_matches_reference(self, sets, seed, shuffle):
+        named = {f"P{i}": s for i, s in enumerate(sets)}
+        expected = sorted(set.intersection(*(set(s) for s in sets)))
+        result = secure_set_intersection(fresh_ctx(seed), named, shuffle=shuffle)
+        assert sorted(result.any_value) == expected
+
+    @FAST
+    @given(sets=small_sets, seed=st.integers(0, 999))
+    def test_all_observers_identical(self, sets, seed):
+        named = {f"P{i}": s for i, s in enumerate(sets)}
+        result = secure_set_intersection(fresh_ctx(seed), named)
+        views = [tuple(result.value_for(o)) for o in sorted(result.observers)]
+        assert len(set(views)) == 1
+
+
+class TestUnionProperties:
+    @FAST
+    @given(sets=small_sets, seed=st.integers(0, 999))
+    def test_matches_reference(self, sets, seed):
+        named = {f"P{i}": s for i, s in enumerate(sets)}
+        expected = sorted(set().union(*(set(s) for s in sets)))
+        result = secure_set_union(fresh_ctx(seed), named)
+        assert result.any_value == expected
+
+
+class TestSumProperties:
+    @FAST
+    @given(
+        values=st.lists(st.integers(0, 10**9), min_size=1, max_size=5),
+        seed=st.integers(0, 999),
+    )
+    def test_matches_reference(self, values, seed):
+        named = {f"P{i}": v for i, v in enumerate(values)}
+        result = secure_sum(fresh_ctx(seed), named)
+        assert result.any_value == sum(values)
+
+    @FAST
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 10**4), st.integers(0, 100)),
+            min_size=1,
+            max_size=5,
+        ),
+        seed=st.integers(0, 999),
+    )
+    def test_weighted_matches_reference(self, pairs, seed):
+        values = {f"P{i}": v for i, (v, _) in enumerate(pairs)}
+        weights = {f"P{i}": w for i, (_, w) in enumerate(pairs)}
+        result = secure_weighted_sum(fresh_ctx(seed), values, weights)
+        assert result.any_value == sum(v * w for v, w in pairs)
+
+    @FAST
+    @given(
+        values=st.lists(st.integers(0, 1000), min_size=3, max_size=6),
+        k=st.integers(2, 3),
+        seed=st.integers(0, 999),
+    )
+    def test_threshold_variants(self, values, k, seed):
+        named = {f"P{i}": v for i, v in enumerate(values)}
+        result = secure_sum(fresh_ctx(seed), named, k=k)
+        assert result.any_value == sum(values)
+
+
+class TestRankingProperties:
+    @FAST
+    @given(
+        values=st.lists(st.integers(0, 10**6), min_size=2, max_size=6, unique=True),
+        seed=st.integers(0, 999),
+    )
+    def test_matches_sorted_order(self, values, seed):
+        named = {f"P{i}": v for i, v in enumerate(values)}
+        result = secure_ranking(fresh_ctx(seed), named)
+        expected_order = sorted(named, key=lambda p: named[p])
+        for rank, party in enumerate(expected_order, start=1):
+            assert result.value_for(party)["rank"] == rank
+        assert result.any_value["argmax"] == expected_order[-1]
+        assert result.any_value["argmin"] == expected_order[0]
+
+
+class TestComparisonProperties:
+    @FAST
+    @given(a=st.integers(0, 10**6), b=st.integers(0, 10**6), seed=st.integers(0, 999))
+    def test_trichotomy(self, a, b, seed):
+        result = secure_compare(
+            fresh_ctx(seed), ("A", a), ("B", b), session=f"s{seed}"
+        )
+        expected = "lt" if a < b else ("gt" if a > b else "eq")
+        assert result.any_value == expected
+
+    @FAST
+    @given(
+        a=st.one_of(st.integers(0, 100), st.text(max_size=10)),
+        b=st.one_of(st.integers(0, 100), st.text(max_size=10)),
+        seed=st.integers(0, 999),
+    )
+    def test_equality_faithful(self, a, b, seed):
+        result = secure_equality(
+            fresh_ctx(seed), ("A", a), ("B", b), session=f"e{seed}"
+        )
+        assert result.any_value == (a == b)
