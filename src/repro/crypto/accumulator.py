@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.crypto import primes
 from repro.crypto.rng import system_rng
 from repro.errors import ParameterError
+from repro.perf.engine import resolve_engine
 
 __all__ = ["AccumulatorParams", "OneWayAccumulator", "digest_to_exponent"]
 
@@ -112,6 +113,38 @@ class OneWayAccumulator:
             raise ParameterError(f"index {index} out of range")
         rest = items[:index] + items[index + 1 :]
         return self.accumulate_all(rest)
+
+    def _exponent_for(self, item: bytes | int) -> int:
+        exponent = item if isinstance(item, int) else digest_to_exponent(item)
+        if exponent <= 1:
+            raise ParameterError("accumulated exponents must exceed 1")
+        return exponent
+
+    def witness_all(self, items: list[bytes | int], engine=None) -> list[int]:
+        """Membership witnesses for *every* item at once.
+
+        Witness ``i`` is ``x0`` raised to the product of all other items'
+        exponents; exponentiation by the pre-multiplied product equals the
+        per-item chain (``(x^a)^b = x^(a·b) mod n``), so each result is
+        identical to :meth:`witness` — but the per-index chains collapse
+        into one independent ``pow`` each, which fans out across the
+        exponentiation engine's workers.
+        """
+        exponents = [self._exponent_for(item) for item in items]
+        k = len(exponents)
+        # prefix[i] = e_0..e_{i-1}, suffix[i] = e_i..e_{k-1}  (plain products:
+        # exponents are public integers, so no group-order reduction exists
+        # or is needed for an RSA modulus of unknown factorization).
+        prefix = [1] * (k + 1)
+        for i, e in enumerate(exponents):
+            prefix[i + 1] = prefix[i] * e
+        suffix = [1] * (k + 1)
+        for i in range(k - 1, -1, -1):
+            suffix[i] = suffix[i + 1] * exponents[i]
+        partials = [prefix[i] * suffix[i + 1] for i in range(k)]
+        return resolve_engine(engine).pow_many(
+            [self.params.x0] * k, partials, self.params.n
+        )
 
     def verify_membership(
         self, item: bytes | int, witness: int, accumulated: int

@@ -35,6 +35,7 @@ from repro.crypto import primes
 from repro.crypto.modmath import int_to_bytes, modinv
 from repro.crypto.rng import system_rng
 from repro.errors import ParameterError
+from repro.perf.engine import resolve_engine
 
 __all__ = [
     "CommutativeKey",
@@ -122,13 +123,20 @@ class PohligHellmanCipher:
         """Decrypt a group element: ``M = C^d mod p``."""
         return pow(self._check_element(c), self.key.d, self.key.p)
 
-    def encrypt_set(self, values: list[int]) -> list[int]:
-        """Encrypt every element of a list (order preserved)."""
-        return [self.encrypt(v) for v in values]
+    def encrypt_set(self, values: list[int], engine=None) -> list[int]:
+        """Encrypt every element of a list (order preserved).
 
-    def decrypt_set(self, values: list[int]) -> list[int]:
+        ``engine`` is an :class:`~repro.perf.engine.ExponentiationEngine`
+        (or spec); ``None`` uses the process-wide default.  Every engine
+        returns results identical to serial per-element encryption.
+        """
+        checked = [self._check_element(v) for v in values]
+        return resolve_engine(engine).pow_many(checked, self.key.e, self.key.p)
+
+    def decrypt_set(self, values: list[int], engine=None) -> list[int]:
         """Decrypt every element of a list (order preserved)."""
-        return [self.decrypt(v) for v in values]
+        checked = [self._check_element(v) for v in values]
+        return resolve_engine(engine).pow_many(checked, self.key.d, self.key.p)
 
 
 class MessageEncoder:
@@ -164,16 +172,29 @@ class MessageEncoder:
             return b"i:" + sign + int_to_bytes(abs(value))
         raise ParameterError(f"cannot canonically encode {type(value)!r}")
 
-    def encode_hashed(self, value) -> int:
-        """One-way encoding of an arbitrary value into the QR subgroup."""
+    def _hash_to_unit(self, value) -> int:
+        """Hash a value into ``Z_p^* \\ {1, p-1}`` (pre-squaring)."""
         digest = self._canonical_bytes(value)
         counter = 0
         while True:
             h = hashlib.sha256(digest + counter.to_bytes(4, "big")).digest()
             x = int.from_bytes(h, "big") % self.p
             if x not in (0, 1, self.p - 1):
-                return pow(x, 2, self.p)
+                return x
             counter += 1
+
+    def encode_hashed(self, value) -> int:
+        """One-way encoding of an arbitrary value into the QR subgroup."""
+        return pow(self._hash_to_unit(value), 2, self.p)
+
+    def encode_hashed_many(self, values, engine=None) -> list[int]:
+        """Bulk :meth:`encode_hashed` (order preserved).
+
+        Hashing is cheap; the squarings route through the exponentiation
+        engine.  Element-wise equal to ``[encode_hashed(v) for v in values]``.
+        """
+        units = [self._hash_to_unit(v) for v in values]
+        return resolve_engine(engine).pow_many(units, 2, self.p)
 
     def encode_int(self, value: int) -> int:
         """Reversible encoding of a small non-negative integer.

@@ -59,8 +59,10 @@ class SizeParty:
         self.ctx = ctx
         self._rng = ctx.party_rng(party_id)
         self.cipher = PohligHellmanCipher.generate(ctx.prime, self._rng)
-        encoded = sorted({ctx.encoder.encode_hashed(v) for v in private_set})
-        self._own_encrypted = [self.cipher.encrypt(e) for e in encoded]
+        encoded = sorted(
+            set(ctx.encoder.encode_hashed_many(private_set, engine=ctx.engine))
+        )
+        self._own_encrypted = self.cipher.encrypt_set(encoded, engine=ctx.engine)
         ctx.count_modexp(party_id, len(self._own_encrypted))
         self._rng.shuffle(self._own_encrypted)
         self.state = _SizeState()
@@ -79,7 +81,10 @@ class SizeParty:
     def handle(self, msg: Message, transport) -> None:
         if msg.kind == "ssize.single":
             # Phase 2: double-encrypt the peer's set and return it.
-            doubled = [self.cipher.encrypt(e) for e in msg.payload["elements"]]
+            with transport.stats.time_stage("ssize.encrypt"):
+                doubled = self.cipher.encrypt_set(
+                    msg.payload["elements"], engine=self.ctx.engine
+                )
             self.ctx.count_modexp(self.party_id, len(doubled))
             self._rng.shuffle(doubled)
             self.ctx.leakage.record(

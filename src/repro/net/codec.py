@@ -5,6 +5,13 @@ byte counts are comparable.  JSON is the body format; Python's arbitrary-
 precision ints (ciphertexts, shares, commitments routinely exceed 2^64) are
 encoded losslessly as ``{"__bigint__": "<hex>"}`` wrappers, and ``bytes`` as
 ``{"__bytes__": "<hex>"}``.  Frames are ``4-byte big-endian length || body``.
+
+Batched fast path: an all-int list containing at least one big int — the
+shape of every ciphertext vector the SMC ring protocols ship — encodes as
+one flat ``{"__bigints__": ["<hex>", ...]}`` wrapper instead of a
+per-element dict, cutting per-element framing overhead roughly 4×.
+Decoding accepts both forms, so new readers remain wire-compatible with
+frames produced by the legacy per-element encoder.
 """
 
 from __future__ import annotations
@@ -21,6 +28,32 @@ _MAX_FRAME = 64 * 1024 * 1024  # 64 MiB guard against corrupted length prefixes
 _JSON_SAFE_INT = 1 << 53       # beyond this, ints round-trip unreliably via JSON readers
 
 
+_RESERVED_KEYS = ("__bigint__", "__bigints__", "__bytes__")
+
+
+def _int_to_hex(value: int) -> str:
+    sign = "-" if value < 0 else ""
+    return sign + format(abs(value), "x")
+
+
+def _hex_to_int(text: str) -> int:
+    negative = text.startswith("-")
+    return -int(text[1:], 16) if negative else int(text, 16)
+
+
+def _batchable(value) -> bool:
+    """All-int list (bools excluded) with at least one JSON-unsafe element."""
+    if len(value) < 2:
+        return False
+    big = False
+    for v in value:
+        if type(v) is not int:
+            return False
+        if not big and not -_JSON_SAFE_INT < v < _JSON_SAFE_INT:
+            big = True
+    return big
+
+
 def _pack(value: Any) -> Any:
     """Recursively wrap big ints and bytes into JSON-safe structures."""
     if isinstance(value, bool):
@@ -28,18 +61,19 @@ def _pack(value: Any) -> Any:
     if isinstance(value, int):
         if -_JSON_SAFE_INT < value < _JSON_SAFE_INT:
             return value
-        sign = "-" if value < 0 else ""
-        return {"__bigint__": sign + format(abs(value), "x")}
+        return {"__bigint__": _int_to_hex(value)}
     if isinstance(value, bytes):
         return {"__bytes__": value.hex()}
     if isinstance(value, (list, tuple)):
+        if _batchable(value):
+            return {"__bigints__": [_int_to_hex(v) for v in value]}
         return [_pack(v) for v in value]
     if isinstance(value, dict):
         packed = {}
         for key, val in value.items():
             if not isinstance(key, str):
                 raise CodecError(f"message dict keys must be str, got {key!r}")
-            if key in ("__bigint__", "__bytes__"):
+            if key in _RESERVED_KEYS:
                 raise CodecError(f"reserved key {key!r} in payload")
             packed[key] = _pack(val)
         return packed
@@ -49,14 +83,14 @@ def _pack(value: Any) -> Any:
 
 
 def _unpack(value: Any) -> Any:
-    """Inverse of :func:`_pack`."""
+    """Inverse of :func:`_pack` (accepts batched and legacy big-int forms)."""
     if isinstance(value, list):
         return [_unpack(v) for v in value]
     if isinstance(value, dict):
         if set(value) == {"__bigint__"}:
-            text = value["__bigint__"]
-            negative = text.startswith("-")
-            return -int(text[1:], 16) if negative else int(text, 16)
+            return _hex_to_int(value["__bigint__"])
+        if set(value) == {"__bigints__"}:
+            return [_hex_to_int(text) for text in value["__bigints__"]]
         if set(value) == {"__bytes__"}:
             return bytes.fromhex(value["__bytes__"])
         return {k: _unpack(v) for k, v in value.items()}

@@ -125,6 +125,16 @@ class SimNetwork:
                 self._queue, (self.now + delay, next(self._tiebreak), msg)
             )
 
+    def send_many(self, msgs: list[Message]) -> None:
+        """Enqueue several messages (interface parity with ``TcpNode``).
+
+        The simulator has no per-syscall cost to coalesce away, so this is
+        a plain loop; protocols written against ``send_many`` get the real
+        coalescing when they run over TCP.
+        """
+        for msg in msgs:
+            self.send(msg)
+
     def broadcast(self, src: NodeId, kind: str, payload, exclude: set[NodeId] | None = None) -> None:
         """Send one copy of ``payload`` from ``src`` to every other node."""
         exclude = exclude or set()

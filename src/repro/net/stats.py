@@ -10,7 +10,9 @@ operations (modular exponentiations dominate).  Every transport owns a
 
 from __future__ import annotations
 
+import time
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 __all__ = ["NetworkStats", "CryptoOpCounter", "CostReport"]
@@ -18,7 +20,14 @@ __all__ = ["NetworkStats", "CryptoOpCounter", "CostReport"]
 
 @dataclass
 class NetworkStats:
-    """Counters a transport updates on every delivery."""
+    """Counters a transport updates on every delivery.
+
+    Besides traffic counts, transports and protocols record *per-stage
+    wall-clock timings* here (``time_stage``/``record_timing``): keys like
+    ``"ssi.encrypt"`` accumulate the seconds spent in that stage across
+    the run, so cost reports can attribute wall-clock to crypto stages,
+    not just message counts.
+    """
 
     messages: int = 0
     bytes: int = 0
@@ -26,6 +35,8 @@ class NetworkStats:
     by_kind: Counter = field(default_factory=Counter)
     bytes_by_kind: Counter = field(default_factory=Counter)
     by_link: Counter = field(default_factory=Counter)
+    timings: dict = field(default_factory=dict)
+    timing_calls: Counter = field(default_factory=Counter)
 
     def record(self, kind: str, size: int, src: str, dst: str) -> None:
         self.messages += 1
@@ -37,6 +48,20 @@ class NetworkStats:
     def record_drop(self) -> None:
         self.dropped += 1
 
+    def record_timing(self, stage: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall-clock against a named stage."""
+        self.timings[stage] = self.timings.get(stage, 0.0) + seconds
+        self.timing_calls[stage] += 1
+
+    @contextmanager
+    def time_stage(self, stage: str):
+        """Context manager timing one pass through a named stage."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_timing(stage, time.perf_counter() - start)
+
     def reset(self) -> None:
         self.messages = 0
         self.bytes = 0
@@ -44,6 +69,8 @@ class NetworkStats:
         self.by_kind.clear()
         self.bytes_by_kind.clear()
         self.by_link.clear()
+        self.timings.clear()
+        self.timing_calls.clear()
 
     def snapshot(self) -> dict:
         """Plain-dict copy for logging / assertions."""
@@ -52,6 +79,7 @@ class NetworkStats:
             "bytes": self.bytes,
             "dropped": self.dropped,
             "by_kind": dict(self.by_kind),
+            "timings": dict(self.timings),
         }
 
 

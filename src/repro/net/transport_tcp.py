@@ -66,6 +66,26 @@ class TcpNode:
 
     # -- sending ----------------------------------------------------------
 
+    def _connect(self, dst: NodeId) -> socket.socket:
+        sock = socket.create_connection(self._address_book[dst], timeout=10.0)
+        # Frames are small and latency-sensitive; never let Nagle hold them.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._outbound[dst] = sock
+        return sock
+
+    def _ship(self, dst: NodeId, payload: bytes) -> None:
+        """Write raw bytes to a peer, (re)connecting lazily.  Lock held."""
+        sock = self._outbound.get(dst)
+        if sock is None:
+            sock = self._connect(dst)
+        try:
+            sock.sendall(payload)
+        except OSError:
+            # One reconnect attempt: the peer may have restarted.
+            sock.close()
+            sock = self._connect(dst)
+            sock.sendall(payload)
+
     def send(self, msg: Message) -> None:
         """Send one framed message, connecting lazily on first use."""
         if self._closed.is_set():
@@ -75,23 +95,32 @@ class TcpNode:
         frame = encode_frame(msg)
         msg.size_bytes = len(frame) - 4
         with self._outbound_lock:
-            sock = self._outbound.get(msg.dst)
-            if sock is None:
-                sock = socket.create_connection(
-                    self._address_book[msg.dst], timeout=10.0
-                )
-                self._outbound[msg.dst] = sock
-            try:
-                sock.sendall(frame)
-            except OSError:
-                # One reconnect attempt: the peer may have restarted.
-                sock.close()
-                sock = socket.create_connection(
-                    self._address_book[msg.dst], timeout=10.0
-                )
-                self._outbound[msg.dst] = sock
-                sock.sendall(frame)
+            self._ship(msg.dst, frame)
         self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
+
+    def send_many(self, msgs: list[Message]) -> None:
+        """Ship several messages, one write per peer instead of per message.
+
+        Frames to the same destination are concatenated and flushed in a
+        single ``sendall`` (frames are self-delimiting, so receivers need
+        no changes) — with ``TCP_NODELAY`` this coalesces a burst into one
+        segment instead of one syscall+segment per message.  Relative
+        order per destination is preserved; stats count each message.
+        """
+        if self._closed.is_set():
+            raise TransportClosedError(f"{self.node_id} is closed")
+        batches: dict[NodeId, bytearray] = {}
+        for msg in msgs:
+            if msg.dst not in self._address_book:
+                raise NodeUnreachableError(f"unknown peer {msg.dst!r}")
+            frame = encode_frame(msg)
+            msg.size_bytes = len(frame) - 4
+            batches.setdefault(msg.dst, bytearray()).extend(frame)
+        with self._outbound_lock:
+            for dst, payload in batches.items():
+                self._ship(dst, bytes(payload))
+        for msg in msgs:
+            self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
 
     # -- receiving --------------------------------------------------------
 
@@ -101,6 +130,10 @@ class TcpNode:
                 conn, _addr = self._listener.accept()
             except OSError:
                 return  # listener closed
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass  # peer may have closed already; reader loop will notice
             threading.Thread(
                 target=self._reader_loop,
                 args=(conn,),

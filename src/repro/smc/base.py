@@ -19,6 +19,7 @@ from repro.crypto.pohlig_hellman import MessageEncoder
 from repro.crypto.rng import DeterministicRng, system_rng
 from repro.errors import ConfigurationError, UnauthorizedObserverError
 from repro.net.stats import CryptoOpCounter
+from repro.perf.engine import resolve_engine
 from repro.smc.leakage import LeakageLedger
 
 __all__ = ["SmcContext", "SmcResult"]
@@ -34,14 +35,27 @@ class SmcContext:
     rng:
         Root RNG; each party derives a child stream via ``rng.spawn`` so
         runs are reproducible yet parties' randomness is independent.
+    engine:
+        Bulk-exponentiation engine for the protocols' crypto hot path —
+        an :class:`~repro.perf.engine.ExponentiationEngine`, a spec string
+        (``"serial"`` / ``"process"`` / ``"auto"``), or ``None`` for the
+        process default (the ``REPRO_PERF_ENGINE`` environment variable,
+        falling back to ``auto``).  Engines never change results, only
+        how the ``pow`` calls are scheduled.
     """
 
-    def __init__(self, prime: int, rng: DeterministicRng | None = None) -> None:
+    def __init__(
+        self,
+        prime: int,
+        rng: DeterministicRng | None = None,
+        engine=None,
+    ) -> None:
         if prime < 17:
             raise ConfigurationError("shared prime too small")
         self.prime = prime
         self.rng = rng or system_rng()
         self.encoder = MessageEncoder(prime)
+        self.engine = resolve_engine(engine)
         self.crypto_ops = CryptoOpCounter()
         self.leakage = LeakageLedger()
 

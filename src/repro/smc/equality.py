@@ -200,15 +200,17 @@ def secure_equality_commutative(
     left: tuple[str, object],
     right: tuple[str, object],
     net: SimNetwork | None = None,
+    coalesce: bool = False,
 ) -> SmcResult:
     """Equality via singleton secure set intersection (no TTP).
 
     "When the set size of S_i = 1, the secure set intersection could be
-    used for secure equality comparison."
+    used for secure equality comparison."  ``coalesce`` selects the
+    intersection's convoy relay mode (fewer frames, serialized hops).
     """
     (lid, lval), (rid, rval) = left, right
     result = secure_set_intersection(
-        ctx, {lid: [lval], rid: [rval]}, net=net, shuffle=False
+        ctx, {lid: [lval], rid: [rval]}, net=net, shuffle=False, coalesce=coalesce
     )
     equal = len(result.any_value) == 1
     return SmcResult(

@@ -63,7 +63,8 @@ class UnionParty:
         self.state = _UnionState()
 
     def start(self, transport) -> None:
-        encrypted = self.cipher.encrypt_set(self.encoded)
+        with transport.stats.time_stage("ssu.encrypt"):
+            encrypted = self.cipher.encrypt_set(self.encoded, engine=self.ctx.engine)
         self.ctx.count_modexp(self.party_id, len(encrypted))
         self._rng.shuffle(encrypted)
         self._advance(transport, hops=1, elements=encrypted)
@@ -90,7 +91,10 @@ class UnionParty:
 
     def handle(self, msg: Message, transport) -> None:
         if msg.kind == "ssu.relay":
-            elements = [self.cipher.encrypt(e) for e in msg.payload["elements"]]
+            with transport.stats.time_stage("ssu.encrypt"):
+                elements = self.cipher.encrypt_set(
+                    msg.payload["elements"], engine=self.ctx.engine
+                )
             self.ctx.count_modexp(self.party_id, len(elements))
             self.ctx.leakage.record(
                 PROTOCOL, self.party_id, "set_size",
@@ -101,7 +105,10 @@ class UnionParty:
         elif msg.kind == "ssu.full":
             self._on_full(msg, transport)
         elif msg.kind == "ssu.decrypt":
-            elements = [self.cipher.decrypt(e) for e in msg.payload["elements"]]
+            with transport.stats.time_stage("ssu.decrypt"):
+                elements = self.cipher.decrypt_set(
+                    msg.payload["elements"], engine=self.ctx.engine
+                )
             self.ctx.count_modexp(self.party_id, len(elements))
             self._send_decrypt(transport, elements, msg.payload["remaining"])
         elif msg.kind == "ssu.result":
@@ -121,7 +128,8 @@ class UnionParty:
             PROTOCOL, self.party_id, "result_cardinality",
             f"collector learns |∪ S_i| = {len(unique)}",
         )
-        decrypted = [self.cipher.decrypt(e) for e in unique]
+        with transport.stats.time_stage("ssu.decrypt"):
+            decrypted = self.cipher.decrypt_set(unique, engine=self.ctx.engine)
         self.ctx.count_modexp(self.party_id, len(decrypted))
         self._send_decrypt(
             transport, decrypted,

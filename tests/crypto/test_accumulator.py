@@ -106,3 +106,27 @@ class TestWitnesses:
     def test_witness_index_bounds(self, acc):
         with pytest.raises(ParameterError):
             acc.witness([b"only"], 1)
+
+
+class TestWitnessAll:
+    def test_matches_per_index_witness(self, acc):
+        items = [b"w0", b"w1", b"w2", b"w3", b"w4"]
+        all_at_once = acc.witness_all(items)
+        assert all_at_once == [acc.witness(items, i) for i in range(len(items))]
+
+    def test_all_verify_against_total(self, acc):
+        items = [f"doc-{i}".encode() for i in range(6)]
+        total = acc.accumulate_all(items)
+        for item, witness in zip(items, acc.witness_all(items)):
+            assert acc.verify_membership(item, witness, total)
+
+    def test_engine_equivalence(self, acc):
+        from repro.perf.engine import ProcessPoolEngine
+
+        items = [f"doc-{i}".encode() for i in range(8)]
+        serial = acc.witness_all(items, engine="serial")
+        with ProcessPoolEngine(workers=2) as pool:
+            assert acc.witness_all(items, engine=pool) == serial
+
+    def test_empty(self, acc):
+        assert acc.witness_all([]) == []

@@ -143,3 +143,38 @@ class TestSharedPrime:
     def test_shape(self):
         p = shared_prime(64)
         assert p.bit_length() == 64
+
+
+class TestEngineEquivalence:
+    """Bulk helpers must be byte-identical regardless of engine."""
+
+    def test_encrypt_decrypt_set_process_matches_serial(self, ciphers):
+        from repro.perf.engine import ProcessPoolEngine, SerialEngine
+
+        cipher = ciphers[0]
+        values = [2 + 3 * i for i in range(64)]
+        serial = SerialEngine()
+        with ProcessPoolEngine(workers=2) as pool:
+            enc_serial = cipher.encrypt_set(values, engine=serial)
+            enc_pool = cipher.encrypt_set(values, engine=pool)
+            assert enc_pool == enc_serial
+            assert cipher.decrypt_set(enc_pool, engine=pool) == values
+            assert cipher.decrypt_set(enc_serial, engine=serial) == values
+
+    def test_set_helpers_accept_spec_string(self, ciphers):
+        values = [11, 13, 17]
+        expected = [ciphers[0].encrypt(v) for v in values]
+        assert ciphers[0].encrypt_set(values, engine="serial") == expected
+
+    def test_encode_hashed_many_matches_scalar(self, prime64):
+        from repro.perf.engine import ProcessPoolEngine
+
+        enc = MessageEncoder(prime64)
+        values = [f"item-{i}" for i in range(50)] + [0, -4, b"raw", True]
+        expected = [enc.encode_hashed(v) for v in values]
+        assert enc.encode_hashed_many(values) == expected
+        with ProcessPoolEngine(workers=2) as pool:
+            assert enc.encode_hashed_many(values, engine=pool) == expected
+
+    def test_encode_hashed_many_empty(self, prime64):
+        assert MessageEncoder(prime64).encode_hashed_many([]) == []

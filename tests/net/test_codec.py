@@ -128,3 +128,87 @@ class TestMessageHelpers:
     def test_sequence_unique(self):
         seqs = {Message(src="a", dst="b", kind="k").seq for _ in range(100)}
         assert len(seqs) == 100
+
+
+class TestBatchedBigInts:
+    """Homogeneous big-int lists ride a flat hex-array fast path."""
+
+    BIG_LIST = [2**256 + i for i in range(5)]
+
+    def test_roundtrip(self):
+        assert roundtrip(self.BIG_LIST) == self.BIG_LIST
+
+    def test_wire_form_is_batched(self):
+        import json
+
+        msg = Message(src="a", dst="b", kind="k", payload=self.BIG_LIST)
+        wire = json.loads(encode_message(msg))
+        assert "__bigints__" in wire["payload"]
+        assert wire["payload"]["__bigints__"] == [format(v, "x") for v in self.BIG_LIST]
+
+    def test_mixed_magnitudes_and_signs(self):
+        payload = [0, -1, 2**53, -(2**300), 7, 2**53 - 1]
+        assert roundtrip(payload) == payload
+
+    def test_small_only_lists_stay_plain(self):
+        import json
+
+        msg = Message(src="a", dst="b", kind="k", payload=[1, 2, 3])
+        wire = json.loads(encode_message(msg))
+        assert wire["payload"] == [1, 2, 3]
+
+    def test_bools_disable_batching(self):
+        payload = [True, 2**200]
+        out = roundtrip(payload)
+        assert out == payload
+        assert out[0] is True  # not coerced to 1
+
+    def test_single_element_uses_legacy_form(self):
+        import json
+
+        msg = Message(src="a", dst="b", kind="k", payload=[2**200])
+        wire = json.loads(encode_message(msg))
+        assert wire["payload"] == [{"__bigint__": format(2**200, "x")}]
+
+    def test_decodes_legacy_per_element_frames(self):
+        """Old peers send one {"__bigint__"} wrapper per element."""
+        import json
+
+        legacy = {
+            "src": "a",
+            "dst": "b",
+            "kind": "k",
+            "seq": 1,
+            "payload": [{"__bigint__": format(v, "x")} for v in self.BIG_LIST],
+        }
+        out = decode_message(json.dumps(legacy).encode("utf-8"))
+        assert out.payload == self.BIG_LIST
+
+    def test_batched_smaller_than_legacy(self):
+        values = [2**512 + i for i in range(64)]
+        batched = encoded_size(Message(src="a", dst="b", kind="k", payload=values))
+        legacy = encoded_size(
+            Message(src="a", dst="b", kind="k", payload=[[v] for v in values])
+        )
+        assert batched < legacy
+
+    def test_batched_reserved_key_rejected(self):
+        with pytest.raises(CodecError):
+            roundtrip({"__bigints__": ["ff"]})
+
+    def test_nested_lists_batch_independently(self):
+        payload = {"sets": [[2**100, 2**101], [5, 2**99]]}
+        assert roundtrip(payload) == payload
+
+
+class TestFrameSizeGuard:
+    def test_oversized_frame_rejected(self, monkeypatch):
+        from repro.net import codec
+
+        monkeypatch.setattr(codec, "_MAX_FRAME", 128)
+        with pytest.raises(CodecError):
+            encode_frame(Message(src="a", dst="b", kind="k", payload="x" * 256))
+
+    def test_limit_sized_frame_accepted(self):
+        frame = encode_frame(Message(src="a", dst="b", kind="k", payload="y" * 64))
+        assert len(decode_frames(bytearray(frame))) == 1

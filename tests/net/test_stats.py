@@ -19,7 +19,24 @@ class TestNetworkStats:
         stats = NetworkStats()
         stats.record("k", 5, "a", "b")
         snap = stats.snapshot()
-        assert snap == {"messages": 1, "bytes": 5, "dropped": 0, "by_kind": {"k": 1}}
+        assert snap == {
+            "messages": 1,
+            "bytes": 5,
+            "dropped": 0,
+            "by_kind": {"k": 1},
+            "timings": {},
+        }
+
+    def test_stage_timings(self):
+        stats = NetworkStats()
+        with stats.time_stage("ssi.encrypt"):
+            pass
+        stats.record_timing("ssi.encrypt", 0.25)
+        assert stats.timing_calls["ssi.encrypt"] == 2
+        assert stats.timings["ssi.encrypt"] >= 0.25
+        assert stats.snapshot()["timings"]["ssi.encrypt"] == stats.timings["ssi.encrypt"]
+        stats.reset()
+        assert not stats.timings and not stats.timing_calls
 
     def test_reset(self):
         stats = NetworkStats()

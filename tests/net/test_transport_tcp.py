@@ -106,3 +106,99 @@ class TestTcpNode:
             cluster["A"].send(Message(src="A", dst="B", kind="k", payload=21))
             assert done.wait(5.0)
             assert result == [42]
+
+
+class TestNoDelay:
+    def test_outbound_socket_has_nodelay(self):
+        import socket
+
+        with TcpCluster(["A", "B"]) as cluster:
+            cluster["A"].send(Message(src="A", dst="B", kind="k", payload=1))
+            sock = cluster["A"]._outbound["B"]
+            assert sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) != 0
+
+    def test_ping_pong_latency(self):
+        """100 tiny round-trips must not hit Nagle/delayed-ACK stalls.
+
+        With Nagle on, each sub-MSS write waits ~40ms for the delayed ACK,
+        so 100 round-trips would take >4s; with TCP_NODELAY they take
+        milliseconds.  The 2s budget is ~20x slack over a loaded CI box
+        while still catching a Nagle regression by an order of magnitude.
+        """
+        import time
+
+        with TcpCluster(["A", "B"]) as cluster:
+            done = threading.Event()
+            rounds = 100
+
+            def ponger(msg, node):
+                node.send(msg.reply("pong", msg.payload))
+
+            def pinger(msg, node):
+                if msg.payload >= rounds:
+                    done.set()
+                    return
+                node.send(Message(src="A", dst="B", kind="ping", payload=msg.payload + 1))
+
+            cluster["B"].set_handler(ponger)
+            cluster["A"].set_handler(pinger)
+            start = time.perf_counter()
+            cluster["A"].send(Message(src="A", dst="B", kind="ping", payload=1))
+            assert done.wait(10.0)
+            elapsed = time.perf_counter() - start
+            assert elapsed < 2.0, f"{rounds} round-trips took {elapsed:.2f}s"
+
+
+class TestSendMany:
+    def test_fan_out_to_multiple_peers(self):
+        with TcpCluster(["A", "B", "C"]) as cluster:
+            cluster["A"].send_many(
+                [
+                    Message(src="A", dst="B", kind="k", payload="to-b"),
+                    Message(src="A", dst="C", kind="k", payload="to-c"),
+                    Message(src="A", dst="B", kind="k", payload="to-b-2"),
+                ]
+            )
+            assert cluster["B"].receive(timeout=5.0).payload == "to-b"
+            assert cluster["B"].receive(timeout=5.0).payload == "to-b-2"
+            assert cluster["C"].receive(timeout=5.0).payload == "to-c"
+            assert cluster["A"].stats.messages == 3
+
+    def test_order_preserved_within_batch(self):
+        with TcpCluster(["A", "B"]) as cluster:
+            seen = []
+            done = threading.Event()
+
+            def handler(msg, node):
+                seen.append(msg.payload)
+                if len(seen) == 20:
+                    done.set()
+
+            cluster["B"].set_handler(handler)
+            cluster["A"].send_many(
+                [Message(src="A", dst="B", kind="k", payload=i) for i in range(20)]
+            )
+            assert done.wait(10.0)
+            assert seen == list(range(20))
+
+    def test_unknown_peer_rejected_before_any_write(self):
+        with TcpCluster(["A", "B"]) as cluster:
+            with pytest.raises(NodeUnreachableError):
+                cluster["A"].send_many(
+                    [
+                        Message(src="A", dst="B", kind="k", payload=1),
+                        Message(src="A", dst="ghost", kind="k", payload=2),
+                    ]
+                )
+            assert cluster["A"].stats.messages == 0
+
+    def test_closed_transport_rejects(self):
+        node = TcpNode("solo")
+        node.close()
+        with pytest.raises(TransportClosedError):
+            node.send_many([Message(src="solo", dst="solo", kind="k")])
+
+    def test_empty_batch_is_noop(self):
+        with TcpCluster(["A"]) as cluster:
+            cluster["A"].send_many([])
+            assert cluster["A"].stats.messages == 0

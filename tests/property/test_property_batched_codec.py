@@ -1,0 +1,114 @@
+"""Property-based fuzzing of the batched big-int wire path.
+
+The batched form (``{"__bigints__": [...]}``) must round-trip exactly the
+same values as the legacy per-element ``{"__bigint__": ...}`` wrappers it
+replaces, across negative ints, zero, and both sides of the 2^53 JSON-safe
+boundary.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.codec import decode_message, encode_message
+from repro.net.message import Message
+
+# Integers clustered around the interesting magnitudes: zero, small,
+# the +/-2^53 JSON boundary, and genuinely big group elements.
+boundary = st.sampled_from(
+    [0, 1, -1, 2**53 - 1, 2**53, 2**53 + 1, -(2**53) + 1, -(2**53), -(2**53) - 1]
+)
+big = st.integers(min_value=2**53, max_value=2**600)
+any_int = st.one_of(
+    boundary,
+    big,
+    big.map(lambda v: -v),
+    st.integers(min_value=-(2**60), max_value=2**60),
+)
+int_lists = st.lists(any_int, max_size=30)
+
+
+def legacy_encode(value: int):
+    """The pre-batching wire form: small ints plain, big ints wrapped."""
+    if -(2**53) < value < 2**53:
+        return value
+    if value < 0:
+        return {"__bigint__": "-" + format(-value, "x")}
+    return {"__bigint__": format(value, "x")}
+
+
+class TestBatchedCodecProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(values=int_lists)
+    def test_roundtrip(self, values):
+        msg = Message(src="a", dst="b", kind="k", payload=values)
+        out = decode_message(encode_message(msg))
+        assert out.payload == values
+        # Exact types too: no int drifting through float.
+        assert all(type(v) is int for v in out.payload)
+
+    @settings(max_examples=200, deadline=None)
+    @given(values=int_lists)
+    def test_decodes_what_legacy_peers_send(self, values):
+        wire = {
+            "src": "a",
+            "dst": "b",
+            "kind": "k",
+            "seq": 7,
+            "payload": [legacy_encode(v) for v in values],
+        }
+        out = decode_message(json.dumps(wire).encode("utf-8"))
+        assert out.payload == values
+
+    @settings(max_examples=200, deadline=None)
+    @given(values=int_lists)
+    def test_batched_and_legacy_decode_identically(self, values):
+        batched = decode_message(
+            encode_message(Message(src="a", dst="b", kind="k", payload=values))
+        )
+        legacy_wire = {
+            "src": "a",
+            "dst": "b",
+            "kind": "k",
+            "seq": 7,
+            "payload": [legacy_encode(v) for v in values],
+        }
+        legacy = decode_message(json.dumps(legacy_wire).encode("utf-8"))
+        assert batched.payload == legacy.payload == values
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=int_lists)
+    def test_batching_only_for_qualifying_lists(self, values):
+        """The fast path triggers iff len>=2 and at least one big element."""
+        wire = json.loads(
+            encode_message(Message(src="a", dst="b", kind="k", payload=values))
+        )
+        qualifies = len(values) >= 2 and any(
+            v <= -(2**53) or v >= 2**53 for v in values
+        )
+        assert (
+            isinstance(wire["payload"], dict) and "__bigints__" in wire["payload"]
+        ) == qualifies
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=st.lists(big, min_size=2, max_size=30))
+    def test_batched_never_larger_than_legacy(self, values):
+        batched = len(
+            encode_message(Message(src="a", dst="b", kind="k", payload=values))
+        )
+        # Force the legacy path by hiding each int in its own list.
+        legacy = len(
+            encode_message(
+                Message(src="a", dst="b", kind="k", payload=[[v] for v in values])
+            )
+        )
+        assert batched < legacy
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=int_lists, tail=st.booleans())
+    def test_nested_structures_roundtrip(self, values, tail):
+        payload = {"sets": {"P1": values, "P2": list(reversed(values))}}
+        if tail:
+            payload["meta"] = [values, "label", None]
+        msg = Message(src="a", dst="b", kind="k", payload=payload)
+        assert decode_message(encode_message(msg)).payload == payload

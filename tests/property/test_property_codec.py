@@ -20,7 +20,7 @@ payloads = st.recursive(
         st.lists(children, max_size=5),
         st.dictionaries(
             st.text(max_size=10).filter(
-                lambda k: k not in ("__bigint__", "__bytes__")
+                lambda k: k not in ("__bigint__", "__bigints__", "__bytes__")
             ),
             children,
             max_size=5,
