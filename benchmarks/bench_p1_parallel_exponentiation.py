@@ -28,6 +28,7 @@ from benchmarks.conftest import print_rows
 from repro.crypto import DeterministicRng, shared_prime
 from repro.crypto.pohlig_hellman import PohligHellmanCipher
 from repro.net.simnet import SimNetwork
+from repro.obs import NOOP_TRACER, Tracer
 from repro.perf.engine import AutoEngine, ProcessPoolEngine, SerialEngine
 from repro.smc.base import SmcContext
 from repro.smc.intersection import secure_set_intersection
@@ -107,6 +108,18 @@ class TestParallelExponentiation:
             assert speedup >= 2.0, f"expected >=2x speedup, got {speedup:.2f}x"
         results["speedup_asserted"] = cores >= 4 and SIZE >= 512 and BITS >= 512
 
+        tracing = self._tracing_overhead(cipher, values, serial)
+        results["tracing"] = tracing
+        print_rows(
+            "P1: tracing overhead on encrypt_set (span per call)",
+            ["tracer", "best ms", "overhead"],
+            [
+                ("noop", f"{tracing['noop_ms']:.1f}", "—"),
+                ("real", f"{tracing['traced_ms']:.1f}",
+                 f"{tracing['overhead_pct']:+.2f}%"),
+            ],
+        )
+
         convoy = self._frame_comparison()
         results["frames"] = convoy
         print_rows(
@@ -120,6 +133,48 @@ class TestParallelExponentiation:
 
         RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {RESULT_PATH}")
+
+    @staticmethod
+    def _tracing_overhead(cipher, values, engine) -> dict:
+        """Guard: an enabled tracer must cost < 5% on the encrypt_set hot
+        path (span per call, cost attributes per span) vs the no-op tracer.
+
+        Each timed sample runs enough encrypt_set calls to take a
+        non-trivial slice of wall clock, so the ratio survives scheduler
+        jitter at CI smoke scale (REPRO_BENCH_SIZE=64).
+        """
+        inner = max(1, 4096 // len(values))
+
+        def run(tracer):
+            out = None
+            for _ in range(inner):
+                with tracer.span("bench.encrypt", {"items": len(values)}) as span:
+                    out = cipher.encrypt_set(values, engine=engine)
+                    if tracer.enabled:
+                        span.set_attributes({"modexp": len(values)})
+            return out
+
+        t_noop, out_noop = _timed(lambda: run(NOOP_TRACER), repeat=5)
+
+        tracer = Tracer()
+
+        def traced():
+            tracer.reset()
+            return run(tracer)
+
+        t_traced, out_traced = _timed(traced, repeat=5)
+        assert out_traced == out_noop  # tracing never perturbs results
+        overhead = t_traced / t_noop - 1.0
+        assert overhead < 0.05, (
+            f"tracing overhead {overhead:.2%} exceeds the 5% budget "
+            f"(noop {t_noop * 1e3:.2f}ms, traced {t_traced * 1e3:.2f}ms)"
+        )
+        return {
+            "noop_ms": round(t_noop * 1e3, 3),
+            "traced_ms": round(t_traced * 1e3, 3),
+            "overhead_pct": round(overhead * 100, 3),
+            "spans_per_sample": inner,
+        }
 
     @staticmethod
     def _frame_comparison() -> dict:

@@ -3,6 +3,9 @@
 Runs the paper's core loop end to end with narration: Table 1 logging,
 fragmentation, a confidential query with a Figure 3 decomposition, a
 signed report, integrity checking, and the session leakage summary.
+
+``python -m repro trace-report <trace.jsonl>`` renders the cost-
+attribution table of a span trace captured with ``--trace-out``.
 """
 
 from __future__ import annotations
@@ -16,13 +19,19 @@ from repro.logstore import LogRecord, paper_fragment_plan, paper_table1_schema, 
 from repro.workloads import paper_table1_rows
 
 
-def run_demo(prime_bits: int, seed: str) -> int:
+def run_demo(prime_bits: int, seed: str, trace_out: str | None = None) -> int:
+    tracer = None
+    if trace_out is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     schema = paper_table1_schema()
     service = ConfidentialAuditingService(
         schema,
         paper_fragment_plan(schema),
         prime_bits=prime_bits,
         rng=DeterministicRng(seed),
+        tracer=tracer,
     )
     print("== DLA cluster ==")
     print(service.describe())
@@ -53,10 +62,40 @@ def run_demo(prime_bits: int, seed: str) -> int:
     clean = sum(r.ok for r in service.check_integrity())
     print(f"\n== integrity == {clean}/{len(receipts)} records verified")
     print(f"\n== leakage == {service.cost_snapshot()['leakage_categories']}")
+
+    if tracer is not None:
+        from repro.obs import write_jsonl
+
+        spans = tracer.finished_spans()
+        write_jsonl(spans, trace_out)
+        print(f"\n== trace == {len(spans)} spans written to {trace_out}")
+    return 0
+
+
+def run_trace_report(path: str, tree: bool = False) -> int:
+    """Render the cost-attribution table (or span tree) of a JSONL trace."""
+    from repro.obs import load_jsonl, render_attribution, render_tree
+
+    spans = load_jsonl(path)
+    print(render_tree(spans) if tree else render_attribution(spans))
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "trace-report":
+        sub = argparse.ArgumentParser(
+            prog="python -m repro trace-report",
+            description="Cost-attribution report over a span trace (JSONL)",
+        )
+        sub.add_argument("trace", help="span trace written by --trace-out")
+        sub.add_argument(
+            "--tree", action="store_true",
+            help="render the span tree instead of the attribution table",
+        )
+        sub_args = sub.parse_args(argv[1:])
+        return run_trace_report(sub_args.trace, tree=sub_args.tree)
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Confidential DLA reproduction demo (Shen/Liu/Zhao, ICDCS 2004)",
@@ -68,9 +107,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seed", default="repro-demo", help="deterministic RNG seed"
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="trace the run and write the span tree as JSON lines to PATH",
+    )
     args = parser.parse_args(argv)
-    return run_demo(args.prime_bits, args.seed)
+    return run_demo(args.prime_bits, args.seed, trace_out=args.trace_out)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed early (e.g. `trace-report | head`);
+        # detach stdout so the interpreter doesn't complain on shutdown.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

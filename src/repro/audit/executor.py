@@ -30,7 +30,7 @@ from repro.logstore.fragmentation import FragmentPlan
 from repro.logstore.schema import GlobalSchema
 from repro.logstore.store import DistributedLogStore
 from repro.net.simnet import SimNetwork
-from repro.smc.base import SmcContext
+from repro.smc.base import SmcContext, protocol_span
 from repro.smc.comparison import (
     evaluate_operator,
     secure_compare,
@@ -134,53 +134,66 @@ class QueryExecutor:
 
     def execute(self, criterion: str | QueryPlan, net: SimNetwork | None = None) -> QueryResult:
         """Evaluate an auditing criterion; returns the glsn-keyed result."""
-        qplan = (
-            criterion
-            if isinstance(criterion, QueryPlan)
-            else plan_query(criterion, self.schema, self.plan)
-        )
-        net = net or SimNetwork()
-        start_msgs, start_bytes = net.stats.messages, net.stats.bytes
-
-        ordered_subqueries = list(qplan.subqueries)
-        if self.early_exit:
-            # Local clauses are free; evaluate them first so an empty one
-            # short-circuits before any cross-predicate SMC runs.
-            ordered_subqueries.sort(key=lambda sq: sq.is_cross)
-
-        clause_sets: dict[str, set[int]] = {}  # anchor node -> glsns
-        subquery_glsns: dict[str, list[int]] = {}
-        for sq in ordered_subqueries:
-            per_node: dict[str, set[int]] = {}
-            for cp in sq.predicates:
-                node, glsns = self._evaluate_predicate(cp.predicate, qplan, net)
-                per_node.setdefault(node, set()).update(glsns)
-            clause_glsns = self._merge_union(per_node, net)
-            anchor = min(per_node) if per_node else min(sq.nodes)
-            subquery_glsns[sq.label] = sorted(clause_glsns)
-            if anchor in clause_sets:
-                # Same anchor already holds another clause: conjoin locally.
-                clause_sets[anchor] &= clause_glsns
-            else:
-                clause_sets[anchor] = set(clause_glsns)
-            if self.early_exit and not clause_glsns:
-                # One empty clause empties the conjunction: stop here.
-                return QueryResult(
-                    plan=qplan,
-                    glsns=[],
-                    subquery_glsns=subquery_glsns,
-                    messages=net.stats.messages - start_msgs,
-                    bytes=net.stats.bytes - start_bytes,
+        tracer = self.ctx.tracer
+        net = net or SimNetwork(tracer=tracer)
+        with protocol_span(self.ctx, net, "query.execute") as span:
+            qplan = (
+                criterion
+                if isinstance(criterion, QueryPlan)
+                else plan_query(criterion, self.schema, self.plan, tracer=tracer)
+            )
+            if tracer.enabled:
+                span.set_attributes(
+                    {
+                        "criterion": qplan.criterion_text,
+                        "q": qplan.q,
+                        "s": qplan.s,
+                        "t": qplan.t,
+                    }
                 )
+            start_msgs, start_bytes = net.stats.messages, net.stats.bytes
 
-        final = self._merge_intersection(clause_sets, net)
-        return QueryResult(
-            plan=qplan,
-            glsns=sorted(final),
-            subquery_glsns=subquery_glsns,
-            messages=net.stats.messages - start_msgs,
-            bytes=net.stats.bytes - start_bytes,
-        )
+            ordered_subqueries = list(qplan.subqueries)
+            if self.early_exit:
+                # Local clauses are free; evaluate them first so an empty one
+                # short-circuits before any cross-predicate SMC runs.
+                ordered_subqueries.sort(key=lambda sq: sq.is_cross)
+
+            clause_sets: dict[str, set[int]] = {}  # anchor node -> glsns
+            subquery_glsns: dict[str, list[int]] = {}
+            for sq in ordered_subqueries:
+                per_node: dict[str, set[int]] = {}
+                for cp in sq.predicates:
+                    node, glsns = self._evaluate_predicate(cp.predicate, qplan, net)
+                    per_node.setdefault(node, set()).update(glsns)
+                clause_glsns = self._merge_union(per_node, net)
+                anchor = min(per_node) if per_node else min(sq.nodes)
+                subquery_glsns[sq.label] = sorted(clause_glsns)
+                if anchor in clause_sets:
+                    # Same anchor already holds another clause: conjoin locally.
+                    clause_sets[anchor] &= clause_glsns
+                else:
+                    clause_sets[anchor] = set(clause_glsns)
+                if self.early_exit and not clause_glsns:
+                    # One empty clause empties the conjunction: stop here.
+                    span.set_attribute("matches", 0)
+                    return QueryResult(
+                        plan=qplan,
+                        glsns=[],
+                        subquery_glsns=subquery_glsns,
+                        messages=net.stats.messages - start_msgs,
+                        bytes=net.stats.bytes - start_bytes,
+                    )
+
+            final = self._merge_intersection(clause_sets, net)
+            span.set_attribute("matches", len(final))
+            return QueryResult(
+                plan=qplan,
+                glsns=sorted(final),
+                subquery_glsns=subquery_glsns,
+                messages=net.stats.messages - start_msgs,
+                bytes=net.stats.bytes - start_bytes,
+            )
 
     def aggregate(
         self,
@@ -198,7 +211,19 @@ class QueryExecutor:
         """
         if op not in ("sum", "count", "max", "min"):
             raise AuditError(f"unknown aggregate op {op!r}")
-        net = net or SimNetwork()
+        net = net or SimNetwork(tracer=self.ctx.tracer)
+        with protocol_span(
+            self.ctx, net, "query.aggregate", {"op": op, "attribute": attribute}
+        ):
+            return self._aggregate_inner(op, attribute, criterion, net)
+
+    def _aggregate_inner(
+        self,
+        op: str,
+        attribute: str,
+        criterion: str | None,
+        net: SimNetwork,
+    ) -> AggregateResult:
         if criterion is not None:
             matching: set[int] | None = set(self.execute(criterion, net=net).glsns)
         else:
@@ -301,7 +326,7 @@ class QueryExecutor:
             raise AuditError(f"unknown aggregate op {op!r}")
         if min_group_size < 1:
             raise AuditError("min_group_size must be at least 1")
-        net = net or SimNetwork()
+        net = net or SimNetwork(tracer=self.ctx.tracer)
         matching: set[int] | None = None
         if criterion is not None:
             matching = set(self.execute(criterion, net=net).glsns)
@@ -370,14 +395,27 @@ class QueryExecutor:
     ) -> tuple[str, set[int]]:
         """Returns ``(holder_node, satisfying glsns)``."""
         strategy = qplan.strategies[str(pred)]
-        if strategy.primitive == "scan":
-            node = strategy.nodes[0]
-            return node, self._local_scan(node, pred)
-        if strategy.primitive == "ssi":
-            return self._cross_equality(pred, strategy.nodes, net)
-        if strategy.primitive == "scmp":
-            return self._cross_order(pred, strategy.nodes, net)
-        raise PlanningError(f"unknown strategy {strategy.primitive!r}")
+        with protocol_span(
+            self.ctx,
+            net,
+            "query.predicate",
+            {
+                "predicate": str(pred),
+                "primitive": strategy.primitive,
+                "nodes": list(strategy.nodes),
+            },
+        ) as span:
+            if strategy.primitive == "scan":
+                node = strategy.nodes[0]
+                result = node, self._local_scan(node, pred)
+            elif strategy.primitive == "ssi":
+                result = self._cross_equality(pred, strategy.nodes, net)
+            elif strategy.primitive == "scmp":
+                result = self._cross_order(pred, strategy.nodes, net)
+            else:
+                raise PlanningError(f"unknown strategy {strategy.primitive!r}")
+            span.set_attribute("matches", len(result[1]))
+            return result
 
     def _local_scan(self, node_id: str, pred: Predicate) -> set[int]:
         store = self.store.node_store(node_id)
@@ -509,11 +547,14 @@ class QueryExecutor:
             return set()
         if len(per_node) == 1:
             return set(next(iter(per_node.values())))
-        result = secure_set_union(
-            self.ctx,
-            {node: sorted(glsns) for node, glsns in per_node.items()},
-            net=net,
-        )
+        with protocol_span(
+            self.ctx, net, "query.merge_union", {"nodes": sorted(per_node)}
+        ):
+            result = secure_set_union(
+                self.ctx,
+                {node: sorted(glsns) for node, glsns in per_node.items()},
+                net=net,
+            )
         return set(result.any_value)
 
     def _merge_intersection(
@@ -528,9 +569,12 @@ class QueryExecutor:
             # An empty clause forces an empty conjunction; running the ring
             # with an empty set would only leak the other sets' sizes.
             return set()
-        result = secure_set_intersection(
-            self.ctx,
-            {node: sorted(glsns) for node, glsns in clause_sets.items()},
-            net=net,
-        )
+        with protocol_span(
+            self.ctx, net, "query.merge_intersection", {"nodes": sorted(clause_sets)}
+        ):
+            result = secure_set_intersection(
+                self.ctx,
+                {node: sorted(glsns) for node, glsns in clause_sets.items()},
+                net=net,
+            )
         return set(result.any_value)

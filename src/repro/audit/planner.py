@@ -90,11 +90,26 @@ def plan_query(
     criterion: str | Node,
     schema: GlobalSchema,
     plan: FragmentPlan,
+    tracer=None,
 ) -> QueryPlan:
     """Build the execution plan for an auditing criterion.
 
-    Accepts either criterion text or an already-parsed AST.
+    Accepts either criterion text or an already-parsed AST.  When a
+    tracer is given, planning runs inside a ``query.plan`` span whose
+    attributes record the decomposition counts (q, s, t).
     """
+    if tracer is not None and tracer.enabled:
+        with tracer.span("query.plan") as span:
+            qplan = plan_query(criterion, schema, plan)
+            span.set_attributes(
+                {
+                    "criterion": qplan.criterion_text,
+                    "q": qplan.q,
+                    "s": qplan.s,
+                    "t": qplan.t,
+                }
+            )
+            return qplan
     if isinstance(criterion, str):
         text = criterion
         ast = parse_criterion(criterion, schema)

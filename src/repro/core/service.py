@@ -16,6 +16,7 @@ integration tests drive everything through it.
 from __future__ import annotations
 
 import json
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.audit.executor import AggregateResult, QueryExecutor, QueryResult
@@ -35,6 +36,9 @@ from repro.logstore.integrity import IntegrityChecker, IntegrityReport, run_inte
 from repro.logstore.records import LogRecord
 from repro.logstore.schema import GlobalSchema
 from repro.logstore.store import DistributedLogStore, WriteReceipt
+from repro.net.simnet import SimNetwork
+from repro.net.stats import CostReport, CryptoOpCounter
+from repro.obs.tracer import NOOP_TRACER
 from repro.smc.base import SmcContext
 
 __all__ = ["AuditReport", "ConfidentialAuditingService"]
@@ -68,6 +72,15 @@ class ConfidentialAuditingService:
         defaults to a strict majority.
     rng:
         Seedable RNG for reproducible deployments.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; every audited query
+        then produces one ``audit.query`` root span whose attributes
+        carry the signed digest and exact cost totals, with the full
+        protocol/stage span tree beneath it.  Defaults to the no-op
+        tracer (zero overhead, nothing recorded).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` fed by the
+        network and crypto ledgers of every traced query.
     """
 
     def __init__(
@@ -77,10 +90,16 @@ class ConfidentialAuditingService:
         prime_bits: int = 128,
         threshold: int | None = None,
         rng: DeterministicRng | None = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.rng = rng or system_rng()
         self.schema = schema
         self.plan = plan
+        self.tracer = tracer or NOOP_TRACER
+        self.metrics = metrics
+        #: CostReport of the most recent query/audited_query (None before).
+        self.last_query_cost: CostReport | None = None
         node_count = len(plan.node_ids)
         self.threshold = threshold if threshold is not None else node_count // 2 + 1
         if not 1 <= self.threshold <= node_count:
@@ -98,11 +117,15 @@ class ConfidentialAuditingService:
             plan,
             self.ticket_authority,
             AccumulatorParams.generate(256, self.rng.spawn("accumulator")),
+            tracer=self.tracer,
         )
 
         # Relaxed-SMC context and executor.
         self.ctx = SmcContext(
-            shared_prime(prime_bits), self.rng.spawn("smc")
+            shared_prime(prime_bits),
+            self.rng.spawn("smc"),
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.executor = QueryExecutor(self.store, self.ctx, schema)
 
@@ -157,15 +180,36 @@ class ConfidentialAuditingService:
 
     def plan_criterion(self, criterion: str) -> QueryPlan:
         """Plan (Figure 3 decomposition) without executing."""
-        return plan_query(criterion, self.schema, self.store.plan)
+        return plan_query(criterion, self.schema, self.store.plan, tracer=self.tracer)
+
+    def _fresh_net(self) -> SimNetwork:
+        """A per-query simulated network wired into the tracer/metrics."""
+        return SimNetwork(tracer=self.tracer, metrics=self.metrics)
+
+    def _collect_cost(self, net: SimNetwork, ops_before: Counter) -> CostReport:
+        """CostReport for one query: the net's totals + the crypto delta."""
+        delta = CryptoOpCounter(
+            ops=Counter(self.ctx.crypto_ops.ops) - ops_before
+        )
+        report = CostReport.collect(net.stats, delta, virtual_time=net.now)
+        self.last_query_cost = report
+        return report
 
     def query(self, criterion: str) -> QueryResult:
         """Run one confidential auditing query (no report signing)."""
-        return self.executor.execute(criterion)
+        net = self._fresh_net()
+        ops_before = Counter(self.ctx.crypto_ops.ops)
+        result = self.executor.execute(criterion, net=net)
+        self._collect_cost(net, ops_before)
+        return result
 
     def aggregate(self, op: str, attribute: str, criterion: str | None = None) -> AggregateResult:
         """Confidential aggregate (sum / count / max / min)."""
-        return self.executor.aggregate(op, attribute, criterion)
+        net = self._fresh_net()
+        ops_before = Counter(self.ctx.crypto_ops.ops)
+        result = self.executor.aggregate(op, attribute, criterion, net=net)
+        self._collect_cost(net, ops_before)
+        return result
 
     def audited_query(self, criterion: str) -> AuditReport:
         """Query + majority agreement + threshold-signed release.
@@ -174,18 +218,41 @@ class ConfidentialAuditingService:
         pass one agreement round, then ``k`` nodes threshold-sign.  A
         single falsifying node is outvoted (exercised in tests via a
         corrupted digest).
+
+        With a tracer installed, the whole run lives under one
+        ``audit.query`` root span whose attributes carry the criterion,
+        the signed digest, the leakage-event count of this run, and cost
+        totals (``messages``, ``bytes``, ``modexp``, ``dropped``) equal to
+        :attr:`last_query_cost` — so the trace is a complete, auditable
+        account of what the query cost and disclosed.
         """
-        result = self.executor.execute(criterion)
-        digest = digest_result(sorted(result.glsns))
-        local_digests = {node_id: digest for node_id in self.plan.node_ids}
-        agreed, _ = run_majority_agreement(local_digests)
-        signer_shares = [
-            self.node_shares[node_id]
-            for node_id in self.plan.node_ids[: self.threshold]
-        ]
-        signature = sign_agreed_result(
-            self.threshold_scheme, signer_shares, agreed, self.rng.spawn("sign")
-        )
+        net = self._fresh_net()
+        ops_before = Counter(self.ctx.crypto_ops.ops)
+        leakage_before = self.ctx.leakage.count()
+        with self.tracer.span("audit.query", {"criterion": criterion}) as span:
+            result = self.executor.execute(criterion, net=net)
+            digest = digest_result(sorted(result.glsns))
+            local_digests = {node_id: digest for node_id in self.plan.node_ids}
+            agreed, _ = run_majority_agreement(local_digests)
+            signer_shares = [
+                self.node_shares[node_id]
+                for node_id in self.plan.node_ids[: self.threshold]
+            ]
+            signature = sign_agreed_result(
+                self.threshold_scheme, signer_shares, agreed, self.rng.spawn("sign")
+            )
+            cost = self._collect_cost(net, ops_before)
+            span.set_attributes(
+                {
+                    "digest": agreed,
+                    "matches": len(result.glsns),
+                    "leakage_events": self.ctx.leakage.count() - leakage_before,
+                    "messages": cost.messages,
+                    "bytes": cost.bytes,
+                    "modexp": cost.modexp,
+                    "dropped": cost.dropped,
+                }
+            )
         return AuditReport(
             criterion=criterion,
             glsns=tuple(result.glsns),

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.crypto import primes
 from repro.crypto.rng import system_rng
 from repro.errors import ParameterError
+from repro.obs.tracer import NOOP_TRACER
 from repro.perf.engine import resolve_engine
 
 __all__ = ["AccumulatorParams", "OneWayAccumulator", "digest_to_exponent"]
@@ -84,8 +85,9 @@ class OneWayAccumulator:
     True
     """
 
-    def __init__(self, params: AccumulatorParams) -> None:
+    def __init__(self, params: AccumulatorParams, tracer=None) -> None:
         self.params = params
+        self.tracer = tracer or NOOP_TRACER
 
     def step(self, current: int, item: bytes | int) -> int:
         """One application of eq. 8: ``A(current, y) = current^y mod n``."""
@@ -96,10 +98,11 @@ class OneWayAccumulator:
 
     def accumulate_all(self, items: list[bytes | int], start: int | None = None) -> int:
         """Fold every item into the base (or ``start``), any order-equivalent."""
-        acc = self.params.x0 if start is None else start
-        for item in items:
-            acc = self.step(acc, item)
-        return acc
+        with self.tracer.span("acc.accumulate", {"items": len(items)}):
+            acc = self.params.x0 if start is None else start
+            for item in items:
+                acc = self.step(acc, item)
+            return acc
 
     def verify(self, items: list[bytes | int], expected: int) -> bool:
         """Check that accumulating ``items`` reproduces ``expected``."""
@@ -130,6 +133,13 @@ class OneWayAccumulator:
         into one independent ``pow`` each, which fans out across the
         exponentiation engine's workers.
         """
+        with self.tracer.span(
+            "acc.witness_all",
+            {"items": len(items), "engine": resolve_engine(engine).name},
+        ):
+            return self._witness_all(items, engine)
+
+    def _witness_all(self, items: list[bytes | int], engine=None) -> list[int]:
         exponents = [self._exponent_for(item) for item in items]
         k = len(exponents)
         # prefix[i] = e_0..e_{i-1}, suffix[i] = e_i..e_{k-1}  (plain products:

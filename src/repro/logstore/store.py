@@ -137,10 +137,11 @@ class DistributedLogStore:
         authority: TicketAuthority,
         acc_params: AccumulatorParams,
         allocator: GlsnAllocator | None = None,
+        tracer=None,
     ) -> None:
         self.plan = plan
         self.authority = authority
-        self.accumulator = OneWayAccumulator(acc_params)
+        self.accumulator = OneWayAccumulator(acc_params, tracer=tracer)
         self.allocator = allocator or GlsnAllocator()
         self.stores: dict[str, FragmentStore] = {
             node_id: FragmentStore(node_id, authority)

@@ -32,6 +32,7 @@ from repro.net.codec import encoded_size
 from repro.net.faults import FaultPlan
 from repro.net.message import Message, NodeId
 from repro.net.stats import NetworkStats
+from repro.obs.tracer import NOOP_TRACER
 
 __all__ = ["LinkModel", "SimNetwork"]
 
@@ -62,10 +63,17 @@ class SimNetwork:
         self,
         default_link: LinkModel | None = None,
         faults: FaultPlan | None = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.default_link = default_link or LinkModel()
         self.faults = faults
         self.stats = NetworkStats()
+        # Span events on send/recv/drop attach to whatever span is open in
+        # the caller (a protocol stage, a query plan node, ...).
+        self.tracer = tracer or NOOP_TRACER
+        if metrics is not None:
+            self.stats.attach_metrics(metrics)
         self.now = 0.0
         self._handlers: dict[NodeId, Handler] = {}
         self._links: dict[tuple[NodeId, NodeId], LinkModel] = {}
@@ -114,11 +122,21 @@ class SimNetwork:
             decision = self.faults.decide(msg)
             if decision.drop:
                 self.stats.record_drop()
+                if self.tracer.enabled:
+                    self.tracer.add_event(
+                        "net.drop",
+                        {"src": msg.src, "dst": msg.dst, "kind": msg.kind},
+                    )
                 return
             extra_delay = decision.extra_delay
             if decision.duplicate:
                 copies = 2
 
+        if self.tracer.enabled:
+            self.tracer.add_event(
+                "net.send",
+                {"src": msg.src, "dst": msg.dst, "kind": msg.kind, "bytes": size},
+            )
         delay = self.link_for(msg.src, msg.dst).delay_for(size) + extra_delay
         for _ in range(copies):
             heapq.heappush(
@@ -156,8 +174,23 @@ class SimNetwork:
         if handler is None:
             # Node unregistered after the send (crash mid-flight).
             self.stats.record_drop()
+            if self.tracer.enabled:
+                self.tracer.add_event(
+                    "net.drop",
+                    {"src": msg.src, "dst": msg.dst, "kind": msg.kind},
+                )
             return True
         self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
+        if self.tracer.enabled:
+            self.tracer.add_event(
+                "net.recv",
+                {
+                    "src": msg.src,
+                    "dst": msg.dst,
+                    "kind": msg.kind,
+                    "bytes": msg.size_bytes,
+                },
+            )
         if self.keep_delivery_log:
             self._delivered_log.append(msg)
         handler(msg, self)

@@ -6,6 +6,13 @@ claim we count everything: messages, bytes, per-kind breakdowns, and crypto
 operations (modular exponentiations dominate).  Every transport owns a
 :class:`NetworkStats`; SMC protocols additionally report into a
 :class:`CryptoOpCounter`.
+
+Both ledgers can optionally *feed* a
+:class:`~repro.obs.metrics.MetricsRegistry` (``attach_metrics``): every
+recorded message, drop, timing, and crypto op then also updates the
+registry's counters and histograms, so one Prometheus dump covers the
+whole run.  Detached (the default), neither ledger touches the registry
+at all.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ import time
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro.obs.metrics import LATENCY_BUCKETS_SECONDS, SIZE_BUCKETS_BYTES
 
 __all__ = ["NetworkStats", "CryptoOpCounter", "CostReport"]
 
@@ -37,6 +46,15 @@ class NetworkStats:
     by_link: Counter = field(default_factory=Counter)
     timings: dict = field(default_factory=dict)
     timing_calls: Counter = field(default_factory=Counter)
+    _metrics: object = field(default=None, init=False, repr=False, compare=False)
+    _metrics_prefix: str = field(
+        default="repro_net", init=False, repr=False, compare=False
+    )
+
+    def attach_metrics(self, registry, prefix: str = "repro_net") -> None:
+        """Mirror every future record into a MetricsRegistry."""
+        self._metrics = registry
+        self._metrics_prefix = prefix
 
     def record(self, kind: str, size: int, src: str, dst: str) -> None:
         self.messages += 1
@@ -44,14 +62,38 @@ class NetworkStats:
         self.by_kind[kind] += 1
         self.bytes_by_kind[kind] += size
         self.by_link[(src, dst)] += 1
+        if self._metrics is not None:
+            p = self._metrics_prefix
+            self._metrics.counter(
+                f"{p}_messages_total", help="messages delivered", labels={"kind": kind}
+            ).inc()
+            self._metrics.counter(
+                f"{p}_bytes_total", help="payload bytes delivered", labels={"kind": kind}
+            ).inc(size)
+            self._metrics.histogram(
+                f"{p}_message_size_bytes",
+                buckets=SIZE_BUCKETS_BYTES,
+                help="per-message encoded size",
+            ).observe(size)
 
     def record_drop(self) -> None:
         self.dropped += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                f"{self._metrics_prefix}_dropped_total", help="messages dropped"
+            ).inc()
 
     def record_timing(self, stage: str, seconds: float) -> None:
         """Accumulate ``seconds`` of wall-clock against a named stage."""
         self.timings[stage] = self.timings.get(stage, 0.0) + seconds
         self.timing_calls[stage] += 1
+        if self._metrics is not None:
+            self._metrics.histogram(
+                f"{self._metrics_prefix}_stage_latency_seconds",
+                buckets=LATENCY_BUCKETS_SECONDS,
+                help="wall-clock per pass through a named stage",
+                labels={"stage": stage},
+            ).observe(seconds)
 
     @contextmanager
     def time_stage(self, stage: str):
@@ -73,13 +115,17 @@ class NetworkStats:
         self.timing_calls.clear()
 
     def snapshot(self) -> dict:
-        """Plain-dict copy for logging / assertions."""
+        """Plain-dict copy for logging / assertions (JSON-safe throughout:
+        link tuples are flattened to ``"src->dst"`` strings)."""
         return {
             "messages": self.messages,
             "bytes": self.bytes,
             "dropped": self.dropped,
             "by_kind": dict(self.by_kind),
+            "bytes_by_kind": dict(self.bytes_by_kind),
+            "by_link": {f"{src}->{dst}": n for (src, dst), n in self.by_link.items()},
             "timings": dict(self.timings),
+            "timing_calls": dict(self.timing_calls),
         }
 
 
@@ -88,9 +134,24 @@ class CryptoOpCounter:
     """Counts of expensive cryptographic operations, by label."""
 
     ops: Counter = field(default_factory=Counter)
+    _metrics: object = field(default=None, init=False, repr=False, compare=False)
+    _metrics_prefix: str = field(
+        default="repro_crypto", init=False, repr=False, compare=False
+    )
+
+    def attach_metrics(self, registry, prefix: str = "repro_crypto") -> None:
+        """Mirror every future op count into a MetricsRegistry."""
+        self._metrics = registry
+        self._metrics_prefix = prefix
 
     def add(self, label: str, count: int = 1) -> None:
         self.ops[label] += count
+        if self._metrics is not None:
+            self._metrics.counter(
+                f"{self._metrics_prefix}_ops_total",
+                help="expensive crypto operations",
+                labels={"op": label},
+            ).inc(count)
 
     @property
     def modexp(self) -> int:
@@ -119,6 +180,7 @@ class CostReport:
     bytes: int
     crypto_ops: dict
     virtual_time: float = 0.0
+    dropped: int = 0
 
     @classmethod
     def collect(
@@ -132,6 +194,7 @@ class CostReport:
             bytes=net_stats.bytes,
             crypto_ops=crypto.snapshot() if crypto else {},
             virtual_time=virtual_time,
+            dropped=net_stats.dropped,
         )
 
     @property

@@ -22,6 +22,7 @@ from repro.errors import NodeUnreachableError, TransportClosedError
 from repro.net.codec import decode_frames, encode_frame
 from repro.net.message import Message, NodeId
 from repro.net.stats import NetworkStats
+from repro.obs.tracer import NOOP_TRACER
 
 __all__ = ["TcpNode", "TcpCluster"]
 
@@ -33,9 +34,22 @@ _RECV_CHUNK = 65536
 class TcpNode:
     """One networked participant: a listener plus outbound connections."""
 
-    def __init__(self, node_id: NodeId, handler: Handler | None = None) -> None:
+    def __init__(
+        self,
+        node_id: NodeId,
+        handler: Handler | None = None,
+        tracer=None,
+        metrics=None,
+    ) -> None:
         self.node_id = node_id
         self.stats = NetworkStats()
+        # Send events attach to the sender's open span.  Receives land on
+        # a reader thread whose span stack is empty, so each delivery runs
+        # inside its own short ``tcp.recv`` root span there — relay sends
+        # the handler issues on that thread nest under it as events.
+        self.tracer = tracer or NOOP_TRACER
+        if metrics is not None:
+            self.stats.attach_metrics(metrics)
         self._handler = handler
         self._address_book: dict[NodeId, tuple[str, int]] = {}
         self._outbound: dict[NodeId, socket.socket] = {}
@@ -97,6 +111,16 @@ class TcpNode:
         with self._outbound_lock:
             self._ship(msg.dst, frame)
         self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
+        if self.tracer.enabled:
+            self.tracer.add_event(
+                "net.send",
+                {
+                    "src": msg.src,
+                    "dst": msg.dst,
+                    "kind": msg.kind,
+                    "bytes": msg.size_bytes,
+                },
+            )
 
     def send_many(self, msgs: list[Message]) -> None:
         """Ship several messages, one write per peer instead of per message.
@@ -121,6 +145,16 @@ class TcpNode:
                 self._ship(dst, bytes(payload))
         for msg in msgs:
             self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
+            if self.tracer.enabled:
+                self.tracer.add_event(
+                    "net.send",
+                    {
+                        "src": msg.src,
+                        "dst": msg.dst,
+                        "kind": msg.kind,
+                        "bytes": msg.size_bytes,
+                    },
+                )
 
     # -- receiving --------------------------------------------------------
 
@@ -156,6 +190,19 @@ class TcpNode:
                     self._dispatch(msg)
 
     def _dispatch(self, msg: Message) -> None:
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "tcp.recv",
+                {"node": self.node_id, "src": msg.src, "kind": msg.kind},
+            ):
+                self.tracer.add_event(
+                    "net.recv", {"src": msg.src, "dst": msg.dst, "kind": msg.kind}
+                )
+                self._deliver(msg)
+        else:
+            self._deliver(msg)
+
+    def _deliver(self, msg: Message) -> None:
         if self._handler is not None:
             self._handler(msg, self)
         else:
@@ -198,9 +245,10 @@ class TcpNode:
 class TcpCluster:
     """Spin up ``node_ids`` on ephemeral localhost ports, fully meshed."""
 
-    def __init__(self, node_ids: list[NodeId]) -> None:
+    def __init__(self, node_ids: list[NodeId], tracer=None, metrics=None) -> None:
         self.nodes: dict[NodeId, TcpNode] = {
-            node_id: TcpNode(node_id) for node_id in node_ids
+            node_id: TcpNode(node_id, tracer=tracer, metrics=metrics)
+            for node_id in node_ids
         }
         book = {node_id: node.address for node_id, node in self.nodes.items()}
         for node in self.nodes.values():

@@ -1,0 +1,61 @@
+"""repro.obs — unified tracing, metrics, and cost attribution.
+
+The paper's headline claim is quantitative (relaxed SMC is orders of
+magnitude cheaper than circuit MPC), so the reproduction counts
+everything — but totals alone cannot say *where* a query spent its time,
+messages, bytes, or modexps.  This package adds the missing correlation
+layer:
+
+* :class:`~repro.obs.tracer.Tracer` — nested spans
+  (``run → protocol → round → stage``) with monotonic timestamps,
+  per-span attributes, and span events.  The
+  :class:`~repro.obs.tracer.NoopTracer` (the default everywhere) makes
+  tracing opt-in with near-zero disabled cost.
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  fixed-bucket histograms that :class:`~repro.net.stats.NetworkStats`
+  and :class:`~repro.net.stats.CryptoOpCounter` feed into.
+* :mod:`~repro.obs.export` — JSON-lines span log, Prometheus-style text
+  dump, and a human-readable span tree.
+* :mod:`~repro.obs.report` — the ``python -m repro trace-report`` cost
+  attribution table (time / messages / bytes / modexp per span, % of
+  parent).
+
+Emitted traces are deterministic modulo timestamps: span ids are
+sequential per tracer, so tests can assert the exact span structure of a
+protocol run.
+"""
+
+from repro.obs.export import (
+    export_jsonl,
+    load_jsonl,
+    loads_jsonl,
+    render_tree,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    BATCH_BUCKETS,
+    LATENCY_BUCKETS_SECONDS,
+    SIZE_BUCKETS_BYTES,
+    MetricsRegistry,
+)
+from repro.obs.report import attribution_rows, render_attribution
+from repro.obs.tracer import NOOP_TRACER, NoopTracer, Span, SpanEvent, Tracer
+
+__all__ = [
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "Span",
+    "SpanEvent",
+    "MetricsRegistry",
+    "SIZE_BUCKETS_BYTES",
+    "LATENCY_BUCKETS_SECONDS",
+    "BATCH_BUCKETS",
+    "export_jsonl",
+    "write_jsonl",
+    "load_jsonl",
+    "loads_jsonl",
+    "render_tree",
+    "attribution_rows",
+    "render_attribution",
+]

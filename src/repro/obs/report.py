@@ -1,0 +1,113 @@
+"""Cost attribution over a span tree.
+
+Turns a trace into the table the paper's §5 analysis wants: for every
+span, the wall-clock time, messages, bytes, and modular exponentiations
+it accounts for, plus its share of the parent span.  Spans that recorded
+explicit cost attributes (the protocol drivers and the query executor
+do) report those; structural spans without them inherit the sum of
+their children — so the table is consistent at every level of
+``run → protocol → round → stage``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import _children_index
+from repro.obs.tracer import Span
+
+__all__ = ["COST_KEYS", "span_cost", "attribution_rows", "render_attribution"]
+
+COST_KEYS = ("messages", "bytes", "modexp")
+
+
+def span_cost(
+    span: Span,
+    children: dict[int | None, list[Span]],
+    _memo: dict[int, dict] | None = None,
+) -> dict:
+    """Cost vector of one span: own attributes, else the sum over children."""
+    memo = {} if _memo is None else _memo
+    cached = memo.get(span.span_id)
+    if cached is not None:
+        return cached
+    cost = {"time": span.duration}
+    kids = children.get(span.span_id, [])
+    for key in COST_KEYS:
+        if key in span.attributes:
+            cost[key] = span.attributes[key]
+        else:
+            cost[key] = sum(span_cost(kid, children, memo)[key] for kid in kids)
+    memo[span.span_id] = cost
+    return cost
+
+
+def _percent(part: float, whole: float) -> str:
+    if whole <= 0:
+        return "—"
+    return f"{100.0 * part / whole:.1f}%"
+
+
+def attribution_rows(spans: list[Span]) -> list[dict]:
+    """Flatten the span forest into table rows (depth-first, run order).
+
+    Each row carries ``depth``, ``name``, the cost vector, the share of
+    the parent's wall-clock (``of_parent``), and the span's event count.
+    """
+    children = _children_index(spans)
+    memo: dict[int, dict] = {}
+    rows: list[dict] = []
+
+    def walk(span: Span, depth: int, parent_cost: dict | None) -> None:
+        cost = span_cost(span, children, memo)
+        rows.append(
+            {
+                "depth": depth,
+                "name": span.name,
+                "time": cost["time"],
+                "messages": cost["messages"],
+                "bytes": cost["bytes"],
+                "modexp": cost["modexp"],
+                "of_parent": _percent(
+                    cost["time"], parent_cost["time"] if parent_cost else 0.0
+                ),
+                "events": len(span.events),
+            }
+        )
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1, cost)
+
+    for root in children.get(None, []):
+        walk(root, 0, None)
+    return rows
+
+
+def render_attribution(spans: list[Span]) -> str:
+    """The ``trace-report`` table: cost attribution per span."""
+    rows = attribution_rows(spans)
+    if not rows:
+        return "(empty trace)"
+    rendered = [
+        (
+            "  " * row["depth"] + row["name"],
+            f"{row['time'] * 1e3:.3f}",
+            row["of_parent"],
+            str(row["messages"]),
+            str(row["bytes"]),
+            str(row["modexp"]),
+            str(row["events"]),
+        )
+        for row in rows
+    ]
+    headers = ("span", "time ms", "% parent", "msgs", "bytes", "modexp", "events")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rendered:
+        cells = [r[0].ljust(widths[0])]
+        cells += [r[i].rjust(widths[i]) for i in range(1, len(headers))]
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""Nested-span tracer with a zero-overhead disabled mode.
+
+A :class:`Tracer` produces :class:`Span` objects arranged in a tree:
+``with tracer.span("query.execute"):`` opens a span, and every span (or
+event) created inside the ``with`` block becomes its child.  Timestamps
+come from a monotonic clock (``time.perf_counter`` by default; injectable
+for tests), span ids are sequential per tracer, and finished spans are
+collected in completion order — so two runs of the same deterministic
+protocol produce identical traces modulo timestamps.
+
+Disabled tracing is the default everywhere: :data:`NOOP_TRACER` exposes
+the same interface but allocates nothing — ``span()`` returns one shared
+reusable context manager yielding one shared inert span.  Hot paths that
+build attribute dicts per call should additionally gate on
+``tracer.enabled`` (the transports do).
+
+The per-thread span stack means the tracer is safe to share across the
+TCP transport's reader threads: each thread nests its own spans, and
+events fired on a thread with no open span are dropped rather than
+misattached.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanEvent", "Tracer", "NoopTracer", "NOOP_TRACER"]
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation inside a span (send/recv/leakage/...)."""
+
+    name: str
+    timestamp: float
+    attributes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ts": self.timestamp,
+            "attributes": dict(self.attributes),
+        }
+
+
+@dataclass
+class Span:
+    """One traced operation: a named interval with attributes and events."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, mapping: dict) -> None:
+        self.attributes.update(mapping)
+
+    def add_event(
+        self, name: str, attributes: dict | None = None, timestamp: float | None = None
+    ) -> None:
+        self.events.append(
+            SpanEvent(
+                name=name,
+                timestamp=time.perf_counter() if timestamp is None else timestamp,
+                attributes=dict(attributes or {}),
+            )
+        )
+
+
+class Tracer:
+    """Collects a tree of spans across one run.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source.  Tests inject a counter to make timestamps
+        (not just structure) deterministic.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._ids = itertools.count(1)
+        self._finished: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def current_span(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, attributes: dict | None = None):
+        """Open a child of the current span (or a root span) for the block."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent else None,
+            start=self._clock(),
+            attributes=dict(attributes or {}),
+        )
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            span.end = self._clock()
+            with self._lock:
+                self._finished.append(span)
+
+    def add_event(self, name: str, attributes: dict | None = None) -> None:
+        """Attach an event to the innermost open span (dropped if none)."""
+        span = self.current_span
+        if span is not None:
+            span.add_event(name, attributes, timestamp=self._clock())
+
+    # -- inspection --------------------------------------------------------
+
+    def finished_spans(self) -> list[Span]:
+        """All closed spans, in completion order (children before parents)."""
+        with self._lock:
+            return list(self._finished)
+
+    def root_spans(self) -> list[Span]:
+        return [s for s in self.finished_spans() if s.parent_id is None]
+
+    def reset(self) -> None:
+        """Drop collected spans and restart the id sequence."""
+        with self._lock:
+            self._finished.clear()
+            self._ids = itertools.count(1)
+
+
+class _NoopSpan:
+    """Shared inert span: accepts the Span API, records nothing."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = 0
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    attributes: dict = {}
+    events: list = []
+
+    def set_attribute(self, key, value) -> None:
+        pass
+
+    def set_attributes(self, mapping) -> None:
+        pass
+
+    def add_event(self, name, attributes=None, timestamp=None) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _NoopSpanContext:
+    """Stateless reusable context manager yielding the shared no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP_CONTEXT = _NoopSpanContext()
+
+
+class NoopTracer:
+    """Tracing disabled: the same interface, no allocation, no recording."""
+
+    enabled = False
+    current_span = None
+
+    def span(self, name: str, attributes: dict | None = None) -> _NoopSpanContext:
+        return _NOOP_CONTEXT
+
+    def add_event(self, name: str, attributes: dict | None = None) -> None:
+        pass
+
+    def finished_spans(self) -> list[Span]:
+        return []
+
+    def root_spans(self) -> list[Span]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+NOOP_TRACER = NoopTracer()

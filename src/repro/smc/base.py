@@ -12,6 +12,7 @@ Definition 1 (paper §3) distinguishes *participants* (hold private inputs),
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -19,10 +20,42 @@ from repro.crypto.pohlig_hellman import MessageEncoder
 from repro.crypto.rng import DeterministicRng, system_rng
 from repro.errors import ConfigurationError, UnauthorizedObserverError
 from repro.net.stats import CryptoOpCounter
+from repro.obs.metrics import BATCH_BUCKETS
+from repro.obs.tracer import NOOP_TRACER
 from repro.perf.engine import resolve_engine
 from repro.smc.leakage import LeakageLedger
 
-__all__ = ["SmcContext", "SmcResult"]
+__all__ = ["SmcContext", "SmcResult", "protocol_span"]
+
+
+@contextmanager
+def protocol_span(ctx: "SmcContext", net, name: str, attributes: dict | None = None):
+    """Span wrapping one protocol run, with cost deltas as attributes.
+
+    Snapshots the transport's message/byte counters and the context's
+    modexp total on entry, and writes the deltas (``messages``, ``bytes``,
+    ``modexp``) onto the span on exit — so each protocol span carries
+    exactly the cost it caused, even when several runs share one network.
+    """
+    tracer = ctx.tracer
+    if not tracer.enabled:
+        with tracer.span(name) as span:
+            yield span
+        return
+    start_msgs = net.stats.messages
+    start_bytes = net.stats.bytes
+    start_modexp = ctx.crypto_ops.modexp
+    with tracer.span(name, attributes) as span:
+        try:
+            yield span
+        finally:
+            span.set_attributes(
+                {
+                    "messages": net.stats.messages - start_msgs,
+                    "bytes": net.stats.bytes - start_bytes,
+                    "modexp": ctx.crypto_ops.modexp - start_modexp,
+                }
+            )
 
 
 class SmcContext:
@@ -42,6 +75,15 @@ class SmcContext:
         process default (the ``REPRO_PERF_ENGINE`` environment variable,
         falling back to ``auto``).  Engines never change results, only
         how the ``pow`` calls are scheduled.
+    tracer:
+        An :class:`~repro.obs.tracer.Tracer` all protocol runs emit spans
+        into; ``None`` (the default) installs the no-op tracer, which
+        records nothing.  Tracing never changes protocol behaviour:
+        message contents, counts, and modexp totals are identical with
+        any tracer.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when given,
+        crypto-op counts and modexp batch sizes feed into it.
     """
 
     def __init__(
@@ -49,6 +91,8 @@ class SmcContext:
         prime: int,
         rng: DeterministicRng | None = None,
         engine=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if prime < 17:
             raise ConfigurationError("shared prime too small")
@@ -56,8 +100,12 @@ class SmcContext:
         self.rng = rng or system_rng()
         self.encoder = MessageEncoder(prime)
         self.engine = resolve_engine(engine)
+        self.tracer = tracer or NOOP_TRACER
+        self.metrics = metrics
         self.crypto_ops = CryptoOpCounter()
-        self.leakage = LeakageLedger()
+        if metrics is not None:
+            self.crypto_ops.attach_metrics(metrics)
+        self.leakage = LeakageLedger(tracer=self.tracer)
 
     def party_rng(self, party_id: str) -> DeterministicRng:
         """Independent randomness stream for one party."""
@@ -67,6 +115,12 @@ class SmcContext:
         """Record ``count`` modular exponentiations performed by a party."""
         self.crypto_ops.add(f"{party_id}.modexp", count)
         self.crypto_ops.add("total.modexp", count)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "repro_crypto_modexp_batch_size",
+                buckets=BATCH_BUCKETS,
+                help="modexps recorded per bulk call",
+            ).observe(count)
 
 
 @dataclass

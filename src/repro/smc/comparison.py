@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.errors import ConfigurationError, ProtocolAbortError, SmcError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
-from repro.smc.base import SmcContext, SmcResult
+from repro.smc.base import SmcContext, SmcResult, protocol_span
 from repro.smc.ranking import MonotoneBlinding
 
 __all__ = [
@@ -137,18 +137,21 @@ def secure_compare(
     blinding = MonotoneBlinding.agree(
         ctx, f"{min(lid, rid)}|{max(lid, rid)}|{session}", bound
     )
-    net = net or SimNetwork()
-    ttp = _CompareTtp(ttp_id, ctx)
-    net.register(ttp_id, ttp.handle)
-    parties = {
-        lid: _CompareParty(lid, lval, ctx, blinding, ttp_id, session, lid),
-        rid: _CompareParty(rid, rval, ctx, blinding, ttp_id, session, lid),
-    }
-    for pid, party in parties.items():
-        net.register(pid, party.handle)
-    for party in parties.values():
-        party.start(net)
-    net.run()
+    net = net or SimNetwork(tracer=ctx.tracer)
+    with protocol_span(
+        ctx, net, "smc.compare", {"session": session, "batch": 1}
+    ):
+        ttp = _CompareTtp(ttp_id, ctx)
+        net.register(ttp_id, ttp.handle)
+        parties = {
+            lid: _CompareParty(lid, lval, ctx, blinding, ttp_id, session, lid),
+            rid: _CompareParty(rid, rval, ctx, blinding, ttp_id, session, lid),
+        }
+        for pid, party in parties.items():
+            net.register(pid, party.handle)
+        for party in parties.values():
+            party.start(net)
+        net.run()
 
     values = {}
     for pid, party in parties.items():
@@ -280,18 +283,21 @@ def secure_compare_batch(
     blinding = MonotoneBlinding.agree(
         ctx, f"{min(lid, rid)}|{max(lid, rid)}|{session}", bound
     )
-    net = net or SimNetwork()
-    ttp = _BatchCompareTtp(ttp_id, ctx)
-    net.register(ttp_id, ttp.handle)
-    parties = {
-        lid: _BatchCompareParty(lid, lvals, ctx, blinding, ttp_id, session, lid),
-        rid: _BatchCompareParty(rid, rvals, ctx, blinding, ttp_id, session, lid),
-    }
-    for pid, party in parties.items():
-        net.register(pid, party.handle)
-    for party in parties.values():
-        party.start(net)
-    net.run()
+    net = net or SimNetwork(tracer=ctx.tracer)
+    with protocol_span(
+        ctx, net, "smc.compare", {"session": session, "batch": len(lvals)}
+    ):
+        ttp = _BatchCompareTtp(ttp_id, ctx)
+        net.register(ttp_id, ttp.handle)
+        parties = {
+            lid: _BatchCompareParty(lid, lvals, ctx, blinding, ttp_id, session, lid),
+            rid: _BatchCompareParty(rid, rvals, ctx, blinding, ttp_id, session, lid),
+        }
+        for pid, party in parties.items():
+            net.register(pid, party.handle)
+        for party in parties.values():
+            party.start(net)
+        net.run()
 
     values = {}
     for pid, party in parties.items():

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError, ProtocolAbortError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
-from repro.smc.base import SmcContext, SmcResult
+from repro.smc.base import SmcContext, SmcResult, protocol_span
 from repro.smc.intersection import secure_set_intersection
 
 __all__ = [
@@ -170,20 +170,28 @@ def secure_equality(
     (lid, lval), (rid, rval) = left, right
     if lid == rid:
         raise ConfigurationError("equality requires two distinct parties")
-    net = net or SimNetwork()
-    blinding = AffineBlinding.agree(ctx, f"{min(lid, rid)}|{max(lid, rid)}|{session}")
-    reply_to = [lid, rid]
-    ttp = BlindTtp(ttp_id, ctx)
-    parties = {
-        lid: EqualityParty(lid, lval, ctx, blinding, ttp_id, session, reply_to),
-        rid: EqualityParty(rid, rval, ctx, blinding, ttp_id, session, reply_to),
-    }
-    net.register(ttp_id, ttp.handle)
-    for pid, party in parties.items():
-        net.register(pid, party.handle)
-    for party in parties.values():
-        party.start(net)
-    net.run()
+    net = net or SimNetwork(tracer=ctx.tracer)
+    with protocol_span(
+        ctx,
+        net,
+        "smc.equality",
+        {"route": "blind_ttp", "session": session},
+    ):
+        blinding = AffineBlinding.agree(
+            ctx, f"{min(lid, rid)}|{max(lid, rid)}|{session}"
+        )
+        reply_to = [lid, rid]
+        ttp = BlindTtp(ttp_id, ctx)
+        parties = {
+            lid: EqualityParty(lid, lval, ctx, blinding, ttp_id, session, reply_to),
+            rid: EqualityParty(rid, rval, ctx, blinding, ttp_id, session, reply_to),
+        }
+        net.register(ttp_id, ttp.handle)
+        for pid, party in parties.items():
+            net.register(pid, party.handle)
+        for party in parties.values():
+            party.start(net)
+        net.run()
 
     values = {}
     for pid, party in parties.items():
@@ -209,9 +217,10 @@ def secure_equality_commutative(
     intersection's convoy relay mode (fewer frames, serialized hops).
     """
     (lid, lval), (rid, rval) = left, right
-    result = secure_set_intersection(
-        ctx, {lid: [lval], rid: [rval]}, net=net, shuffle=False, coalesce=coalesce
-    )
+    with ctx.tracer.span("smc.equality", {"route": "commutative"}):
+        result = secure_set_intersection(
+            ctx, {lid: [lval], rid: [rval]}, net=net, shuffle=False, coalesce=coalesce
+        )
     equal = len(result.any_value) == 1
     return SmcResult(
         protocol=PROTOCOL,

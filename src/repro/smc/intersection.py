@@ -45,7 +45,7 @@ from repro.crypto.pohlig_hellman import PohligHellmanCipher
 from repro.errors import ConfigurationError, ProtocolAbortError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
-from repro.smc.base import SmcContext, SmcResult
+from repro.smc.base import SmcContext, SmcResult, protocol_span
 
 __all__ = ["IntersectionParty", "secure_set_intersection", "fig4_walkthrough"]
 
@@ -109,10 +109,19 @@ class IntersectionParty:
     # -- protocol steps ----------------------------------------------------
 
     def _encrypt_own(self, transport) -> list[int]:
-        with transport.stats.time_stage("ssi.encrypt"):
-            encrypted = self.cipher.encrypt_set(
-                self.state.encoded, engine=self.ctx.engine
-            )
+        with self.ctx.tracer.span(
+            "ssi.hop",
+            {
+                "party": self.party_id,
+                "origin": self.party_id,
+                "set_size": len(self.state.encoded),
+                "engine": self.ctx.engine.name,
+            },
+        ):
+            with transport.stats.time_stage("ssi.encrypt"):
+                encrypted = self.cipher.encrypt_set(
+                    self.state.encoded, engine=self.ctx.engine
+                )
         self.ctx.count_modexp(self.party_id, len(encrypted))
         return encrypted
 
@@ -164,8 +173,17 @@ class IntersectionParty:
 
     def _reencrypt_block(self, transport, origin: str, elements: list[int]) -> list[int]:
         """One hop's work on one in-flight set: re-encrypt (and maybe shuffle)."""
-        with transport.stats.time_stage("ssi.encrypt"):
-            elements = self.cipher.encrypt_set(elements, engine=self.ctx.engine)
+        with self.ctx.tracer.span(
+            "ssi.hop",
+            {
+                "party": self.party_id,
+                "origin": origin,
+                "set_size": len(elements),
+                "engine": self.ctx.engine.name,
+            },
+        ):
+            with transport.stats.time_stage("ssi.encrypt"):
+                elements = self.cipher.encrypt_set(elements, engine=self.ctx.engine)
         self.ctx.count_modexp(self.party_id, len(elements))
         self.ctx.leakage.record(
             PROTOCOL,
@@ -415,23 +433,35 @@ def secure_set_intersection(
     collector = collector or observers[0]
     if collector not in parties:
         raise ConfigurationError(f"collector {collector!r} is not a party")
-    net = net or SimNetwork()
+    net = net or SimNetwork(tracer=ctx.tracer)
 
-    nodes = {
-        pid: IntersectionParty(
-            pid, sets[pid], ctx, parties, observers, collector,
-            shuffle=shuffle, ring=ring,
-        )
-        for pid in parties
-    }
-    for pid, node in nodes.items():
-        net.register(pid, node.handle)
-    if coalesce:
-        nodes[collector].start_convoy(net)
-    else:
-        for node in nodes.values():
-            node.start(net)
-    net.run()
+    with protocol_span(
+        ctx,
+        net,
+        "smc.intersection",
+        {
+            "parties": len(parties),
+            "set_sizes": {pid: len(sets[pid]) for pid in parties},
+            "engine": ctx.engine.name,
+            "shuffle": shuffle,
+            "coalesce": coalesce,
+        },
+    ):
+        nodes = {
+            pid: IntersectionParty(
+                pid, sets[pid], ctx, parties, observers, collector,
+                shuffle=shuffle, ring=ring,
+            )
+            for pid in parties
+        }
+        for pid, node in nodes.items():
+            net.register(pid, node.handle)
+        if coalesce:
+            nodes[collector].start_convoy(net)
+        else:
+            for node in nodes.values():
+                node.start(net)
+        net.run()
 
     values = {}
     for obs in observers:

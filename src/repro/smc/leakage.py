@@ -48,10 +48,16 @@ _PRIMARY_CATEGORIES = frozenset({"plaintext", "raw_value", "private_set_element"
 
 
 class LeakageLedger:
-    """Append-only record of secondary disclosures in a protocol run."""
+    """Append-only record of secondary disclosures in a protocol run.
 
-    def __init__(self) -> None:
+    When constructed with a tracer, every recorded disclosure is also
+    emitted as a ``"leakage"`` span event on whatever span is open — so a
+    trace carries the full disclosure story inline with the cost story.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self._events: list[LeakageEvent] = []
+        self._tracer = tracer
 
     def record(self, protocol: str, observer: str, category: str, detail: str) -> None:
         """Record one disclosure.
@@ -69,6 +75,16 @@ class LeakageLedger:
                 f"({category}) to {observer!r}"
             )
         self._events.append(LeakageEvent(protocol, observer, category, detail))
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.add_event(
+                "leakage",
+                {
+                    "protocol": protocol,
+                    "observer": observer,
+                    "category": category,
+                    "detail": detail,
+                },
+            )
 
     @property
     def events(self) -> list[LeakageEvent]:

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError, ProtocolAbortError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
-from repro.smc.base import SmcContext, SmcResult
+from repro.smc.base import SmcContext, SmcResult, protocol_span
 
 __all__ = ["MonotoneBlinding", "RankingTtp", "RankingParty", "secure_ranking"]
 
@@ -180,19 +180,25 @@ def secure_ranking(
         raise ConfigurationError("ranking takes non-negative integers")
     bound = value_bound if value_bound is not None else max(values.values())
     blinding = MonotoneBlinding.agree(ctx, group_label, bound)
-    net = net or SimNetwork()
+    net = net or SimNetwork(tracer=ctx.tracer)
 
-    ttp = RankingTtp(ttp_id, ctx, expected=len(values))
-    net.register(ttp_id, ttp.handle)
-    parties = {
-        pid: RankingParty(pid, val, ctx, blinding, ttp_id, rank_only_noise)
-        for pid, val in values.items()
-    }
-    for pid, party in parties.items():
-        net.register(pid, party.handle)
-    for party in parties.values():
-        party.start(net)
-    net.run()
+    with protocol_span(
+        ctx,
+        net,
+        "smc.ranking",
+        {"parties": len(values), "rank_only_noise": rank_only_noise},
+    ):
+        ttp = RankingTtp(ttp_id, ctx, expected=len(values))
+        net.register(ttp_id, ttp.handle)
+        parties = {
+            pid: RankingParty(pid, val, ctx, blinding, ttp_id, rank_only_noise)
+            for pid, val in values.items()
+        }
+        for pid, party in parties.items():
+            net.register(pid, party.handle)
+        for party in parties.values():
+            party.start(net)
+        net.run()
 
     out = {}
     for pid, party in parties.items():

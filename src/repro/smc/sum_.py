@@ -27,7 +27,7 @@ from repro.crypto.shamir import ShamirScheme
 from repro.errors import ConfigurationError, ProtocolAbortError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
-from repro.smc.base import SmcContext, SmcResult
+from repro.smc.base import SmcContext, SmcResult, protocol_span
 
 __all__ = ["SumParty", "secure_sum", "secure_weighted_sum"]
 
@@ -166,23 +166,31 @@ def _run_sum(
         bound = sum(abs(weights[p]) * values[p] for p in parties) + n + 1
         field_prime = prime_above(max(bound, 2 * n + 3))
     scheme = ShamirScheme(k=k, n=n, p=field_prime)
-    ctx.leakage.record(
-        PROTOCOL, "*", "value_bound",
-        f"field modulus {field_prime} bounds the (weighted) sum a priori",
-    )
 
-    net = net or SimNetwork()
+    net = net or SimNetwork(tracer=ctx.tracer)
     weight_list = [weights[p] % field_prime for p in parties]
-    nodes = {}
-    for pid in parties:
-        node = SumParty(pid, values[pid], weights[pid], ctx, parties, observers, scheme)
-        node._all_weights = weight_list
-        nodes[pid] = node
-    for pid, node in nodes.items():
-        net.register(pid, node.handle)
-    for node in nodes.values():
-        node.start(net)
-    net.run()
+    with protocol_span(
+        ctx,
+        net,
+        "smc.sum",
+        {"parties": n, "k": k, "weighted": any(w != 1 for w in weights.values())},
+    ):
+        ctx.leakage.record(
+            PROTOCOL, "*", "value_bound",
+            f"field modulus {field_prime} bounds the (weighted) sum a priori",
+        )
+        nodes = {}
+        for pid in parties:
+            node = SumParty(
+                pid, values[pid], weights[pid], ctx, parties, observers, scheme
+            )
+            node._all_weights = weight_list
+            nodes[pid] = node
+        for pid, node in nodes.items():
+            net.register(pid, node.handle)
+        for node in nodes.values():
+            node.start(net)
+        net.run()
 
     out = {}
     for obs in observers:

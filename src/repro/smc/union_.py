@@ -26,7 +26,7 @@ from repro.errors import ConfigurationError, ProtocolAbortError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
 from repro.net.topology import next_on_ring
-from repro.smc.base import SmcContext, SmcResult
+from repro.smc.base import SmcContext, SmcResult, protocol_span
 
 __all__ = ["UnionParty", "secure_set_union"]
 
@@ -63,8 +63,18 @@ class UnionParty:
         self.state = _UnionState()
 
     def start(self, transport) -> None:
-        with transport.stats.time_stage("ssu.encrypt"):
-            encrypted = self.cipher.encrypt_set(self.encoded, engine=self.ctx.engine)
+        with self.ctx.tracer.span(
+            "ssu.hop",
+            {
+                "party": self.party_id,
+                "set_size": len(self.encoded),
+                "engine": self.ctx.engine.name,
+            },
+        ):
+            with transport.stats.time_stage("ssu.encrypt"):
+                encrypted = self.cipher.encrypt_set(
+                    self.encoded, engine=self.ctx.engine
+                )
         self.ctx.count_modexp(self.party_id, len(encrypted))
         self._rng.shuffle(encrypted)
         self._advance(transport, hops=1, elements=encrypted)
@@ -91,10 +101,18 @@ class UnionParty:
 
     def handle(self, msg: Message, transport) -> None:
         if msg.kind == "ssu.relay":
-            with transport.stats.time_stage("ssu.encrypt"):
-                elements = self.cipher.encrypt_set(
-                    msg.payload["elements"], engine=self.ctx.engine
-                )
+            with self.ctx.tracer.span(
+                "ssu.hop",
+                {
+                    "party": self.party_id,
+                    "set_size": len(msg.payload["elements"]),
+                    "engine": self.ctx.engine.name,
+                },
+            ):
+                with transport.stats.time_stage("ssu.encrypt"):
+                    elements = self.cipher.encrypt_set(
+                        msg.payload["elements"], engine=self.ctx.engine
+                    )
             self.ctx.count_modexp(self.party_id, len(elements))
             self.ctx.leakage.record(
                 PROTOCOL, self.party_id, "set_size",
@@ -182,17 +200,27 @@ def secure_set_union(
     if unknown:
         raise ConfigurationError(f"observers {unknown} are not parties")
     collector = collector or observers[0]
-    net = net or SimNetwork()
+    net = net or SimNetwork(tracer=ctx.tracer)
 
-    nodes = {
-        pid: UnionParty(pid, sets[pid], ctx, parties, observers, collector)
-        for pid in parties
-    }
-    for pid, node in nodes.items():
-        net.register(pid, node.handle)
-    for node in nodes.values():
-        node.start(net)
-    net.run()
+    with protocol_span(
+        ctx,
+        net,
+        "smc.union",
+        {
+            "parties": len(parties),
+            "set_sizes": {pid: len(sets[pid]) for pid in parties},
+            "engine": ctx.engine.name,
+        },
+    ):
+        nodes = {
+            pid: UnionParty(pid, sets[pid], ctx, parties, observers, collector)
+            for pid in parties
+        }
+        for pid, node in nodes.items():
+            net.register(pid, node.handle)
+        for node in nodes.values():
+            node.start(net)
+        net.run()
 
     values = {}
     for obs in observers:

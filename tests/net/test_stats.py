@@ -1,5 +1,7 @@
 """Tests for cost accounting structures."""
 
+import pytest
+
 from repro.net.stats import CostReport, CryptoOpCounter, NetworkStats
 
 
@@ -24,8 +26,31 @@ class TestNetworkStats:
             "bytes": 5,
             "dropped": 0,
             "by_kind": {"k": 1},
+            "bytes_by_kind": {"k": 5},
+            "by_link": {"a->b": 1},
             "timings": {},
+            "timing_calls": {},
         }
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        stats = NetworkStats()
+        stats.record("k", 5, "a", "b")
+        stats.record_drop()
+        with stats.time_stage("stage"):
+            pass
+        assert json.loads(json.dumps(stats.snapshot())) == stats.snapshot()
+
+    def test_time_stage_records_on_exception(self):
+        stats = NetworkStats()
+        with pytest.raises(ValueError):
+            with stats.time_stage("boom"):
+                raise ValueError("stage failed")
+        # The failed pass is still timed — cost attribution must not lose
+        # wall-clock to raised stages.
+        assert stats.timing_calls["boom"] == 1
+        assert stats.timings["boom"] >= 0.0
 
     def test_stage_timings(self):
         stats = NetworkStats()
@@ -44,6 +69,16 @@ class TestNetworkStats:
         stats.record_drop()
         stats.reset()
         assert stats.messages == 0 and stats.dropped == 0 and not stats.by_kind
+
+    def test_reset_clears_every_counter(self):
+        stats = NetworkStats()
+        stats.record("k", 5, "a", "b")
+        stats.record_drop()
+        stats.record_timing("stage", 0.5)
+        stats.reset()
+        empty = NetworkStats()
+        assert stats.snapshot() == empty.snapshot()
+        assert stats == empty
 
 
 class TestCryptoOpCounter:
@@ -76,3 +111,12 @@ class TestCostReport:
     def test_collect_without_crypto(self):
         report = CostReport.collect(NetworkStats())
         assert report.crypto_ops == {} and report.modexp == 0
+
+    def test_collect_includes_dropped(self):
+        stats = NetworkStats()
+        stats.record("k", 7, "a", "b")
+        stats.record_drop()
+        stats.record_drop()
+        report = CostReport.collect(stats)
+        assert report.dropped == 2
+        assert report.messages == 1
