@@ -14,6 +14,7 @@ import argparse
 import sys
 
 from repro import ApplicationNode, Auditor, ConfidentialAuditingService
+from repro.cache import cache_stats_snapshot
 from repro.crypto import DeterministicRng
 from repro.logstore import LogRecord, paper_fragment_plan, paper_table1_schema, render_table
 from repro.workloads import paper_table1_rows
@@ -50,6 +51,15 @@ def run_demo(prime_bits: int, seed: str, trace_out: str | None = None) -> int:
     result = auditor.query(criterion)
     print(f"matches: {[format(g, 'x') for g in result.glsns]} "
           f"({result.messages} msgs, {result.bytes} bytes)")
+    # The same criterion again: epoch-keyed caches serve the projections.
+    rerun = auditor.query(criterion)
+    assert rerun.glsns == result.glsns
+    print("\n== caches (after repeating the query; REPRO_CACHE=off disables) ==")
+    for name, row in cache_stats_snapshot().items():
+        total = row["hits"] + row["misses"]
+        rate = row["hits"] / total if total else 0.0
+        print(f"  {name:18s} hits={row['hits']:<4d} misses={row['misses']:<4d} "
+              f"hit_rate={rate:.0%}")
 
     report = auditor.audited_query("Tid = 'T1100265'")
     print(f"\n== signed report ==\nrecords {len(report.glsns)}, "

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.audit.ast_nodes import AttributeRef, Constant, Predicate
 from repro.audit.planner import QueryPlan, plan_query
+from repro.cache import LruCache
 from repro.errors import AuditError, PlanningError
 from repro.logstore.fragmentation import FragmentPlan
 from repro.logstore.schema import GlobalSchema
@@ -129,6 +130,13 @@ class QueryExecutor:
         # empty and the remaining cross-predicate SMC runs are skipped.
         self.early_exit = True
         self._session = 0
+        # Epoch-keyed memoization (repro.cache): repeated queries over a
+        # slowly-growing log re-derive the same per-node projections and
+        # predicate scans.  Keys embed the owning store's epoch, so an
+        # append/delete/tamper on one node invalidates exactly that
+        # node's entries; REPRO_CACHE=off bypasses both caches entirely.
+        self._projection_cache = LruCache("query.projection", metrics=ctx.metrics)
+        self._scan_cache = LruCache("query.scan", metrics=ctx.metrics)
 
     # -- public API -----------------------------------------------------------
 
@@ -232,14 +240,11 @@ class QueryExecutor:
         owners = self.plan.owners_of(attribute)
         partials: dict[str, list] = {}
         for owner in owners:
-            store = self.store.node_store(owner)
-            values = []
-            for frag in store.scan():
-                if matching is not None and frag.glsn not in matching:
-                    continue
-                if attribute in frag.values:
-                    values.append(frag.values[attribute])
-            partials[owner] = values
+            partials[owner] = [
+                value
+                for glsn, value in self._projection(owner, attribute)
+                if matching is None or glsn in matching
+            ]
 
         matched = sum(len(v) for v in partials.values())
         if op == "count":
@@ -332,14 +337,11 @@ class QueryExecutor:
             matching = set(self.execute(criterion, net=net).glsns)
 
         group_node = self.plan.home_of(group_by)
-        group_store = self.store.node_store(group_node)
         groups: dict[object, list[int]] = {}
-        for frag in group_store.scan():
-            if group_by not in frag.values:
+        for glsn, value in self._projection(group_node, group_by):
+            if matching is not None and glsn not in matching:
                 continue
-            if matching is not None and frag.glsn not in matching:
-                continue
-            groups.setdefault(frag.values[group_by], []).append(frag.glsn)
+            groups.setdefault(value, []).append(glsn)
 
         measure_node = self.plan.home_of(measure)
         cross_node = measure_node != group_node
@@ -350,20 +352,14 @@ class QueryExecutor:
                 "group_membership",
                 f"measure owner sees {len(groups)} blinded-label glsn groups",
             )
-        measure_store = self.store.node_store(measure_node)
+        measure_pairs = self._projection(measure_node, measure)
 
         out: dict[object, AggregateResult] = {}
         for value, glsns in sorted(groups.items(), key=lambda kv: repr(kv[0])):
             if len(glsns) < min_group_size:
                 continue  # suppressed: the label is never unblinded
             members = set(glsns)
-            samples = [
-                frag.values[measure]
-                for frag in measure_store.scan(
-                    lambda f, members=members: f.glsn in members
-                )
-                if measure in frag.values
-            ]
+            samples = [v for glsn, v in measure_pairs if glsn in members]
             if op == "count":
                 result: object = len(samples)
             elif not samples:
@@ -417,8 +413,32 @@ class QueryExecutor:
             span.set_attribute("matches", len(result[1]))
             return result
 
+    def _projection(self, node_id: str, attribute: str) -> tuple[tuple[int, object], ...]:
+        """(glsn, value) pairs of one attribute on its owner node.
+
+        Memoized per (node, attribute, store epoch): any mutation of the
+        owning store bumps its epoch and the next query re-scans; stores
+        untouched since the last query serve the cached projection and
+        skip the fragment scan entirely.
+        """
+        store = self.store.node_store(node_id)
+        key = (node_id, attribute, store.epoch)
+
+        def compute() -> tuple[tuple[int, object], ...]:
+            return tuple(
+                (frag.glsn, frag.values[attribute])
+                for frag in store.scan()
+                if attribute in frag.values
+            )
+
+        return self._projection_cache.get_or_compute(key, compute)
+
     def _local_scan(self, node_id: str, pred: Predicate) -> set[int]:
         store = self.store.node_store(node_id)
+        key = (node_id, str(pred), store.epoch)
+        cached = self._scan_cache.get(key)
+        if cached is not None:
+            return set(cached)
         left = pred.left.name
         out: set[int] = set()
         for frag in store.scan():
@@ -434,17 +454,13 @@ class QueryExecutor:
                 right_value = frag.values[right_name]
             if _apply_op(pred.op, left_value, right_value):
                 out.add(frag.glsn)
+        self._scan_cache.put(key, frozenset(out))
         return out
 
     def _present_glsns(
         self, node_id: str, attribute: str, matching: set[int] | None = None
     ) -> set[int]:
-        store = self.store.node_store(node_id)
-        out = {
-            frag.glsn
-            for frag in store.scan()
-            if attribute in frag.values
-        }
+        out = {glsn for glsn, _ in self._projection(node_id, attribute)}
         if matching is not None:
             out &= matching
         return out
@@ -477,11 +493,9 @@ class QueryExecutor:
 
     def _composite_set(self, node_id: str, attribute: str) -> set[str]:
         """``glsn|value`` composites — the secure equality-join elements."""
-        store = self.store.node_store(node_id)
         return {
-            f"{frag.glsn}|{frag.values[attribute]}"
-            for frag in store.scan()
-            if attribute in frag.values
+            f"{glsn}|{value}"
+            for glsn, value in self._projection(node_id, attribute)
         }
 
     def _cross_order(

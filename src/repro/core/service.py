@@ -32,7 +32,12 @@ from repro.crypto.threshold import ThresholdKeyShare, ThresholdScheme
 from repro.crypto.tickets import Operation, Ticket, TicketAuthority
 from repro.errors import ClusterError, ConfigurationError
 from repro.logstore.fragmentation import FragmentPlan
-from repro.logstore.integrity import IntegrityChecker, IntegrityReport, run_integrity_round
+from repro.logstore.integrity import (
+    IntegrityChecker,
+    IntegrityReport,
+    run_batched_integrity_round,
+    run_integrity_round,
+)
 from repro.logstore.records import LogRecord
 from repro.logstore.schema import GlobalSchema
 from repro.logstore.store import DistributedLogStore, WriteReceipt
@@ -295,11 +300,21 @@ class ConfidentialAuditingService:
 
     # -- integrity ------------------------------------------------------------------
 
-    def check_integrity(self, distributed: bool = True) -> list[IntegrityReport]:
-        """§4.1 integrity cross-check of every stored record."""
+    def check_integrity(
+        self, distributed: bool = True, batched: bool = True
+    ) -> list[IntegrityReport]:
+        """§4.1 integrity cross-check of every stored record.
+
+        ``batched=True`` (the default) circulates one multi-glsn ring
+        token — O(nodes) messages for the whole log; ``batched=False``
+        replays the legacy one-token-per-glsn ring.  Reports are
+        identical either way.
+        """
         if distributed:
+            if batched:
+                return run_batched_integrity_round(self.store)
             return run_integrity_round(self.store)
-        return IntegrityChecker(self.store).check_all()
+        return IntegrityChecker(self.store, metrics=self.metrics).check_all()
 
     # -- introspection ----------------------------------------------------------------
 

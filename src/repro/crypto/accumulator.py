@@ -111,11 +111,18 @@ class OneWayAccumulator:
     def witness(self, items: list[bytes | int], index: int) -> int:
         """Membership witness for ``items[index]``: the accumulator of all
         *other* items.  ``step(witness, items[index]) == accumulate_all(items)``.
+
+        Costs one ``pow``: the chain ``(((x0^e_a)^e_b)...)`` equals
+        ``x0`` raised to the pre-multiplied exponent product (eq. 9), so
+        the per-item chain collapses into a single exponentiation.
         """
         if not 0 <= index < len(items):
             raise ParameterError(f"index {index} out of range")
-        rest = items[:index] + items[index + 1 :]
-        return self.accumulate_all(rest)
+        product = 1
+        for i, item in enumerate(items):
+            if i != index:
+                product *= self._exponent_for(item)
+        return pow(self.params.x0, product, self.params.n)
 
     def _exponent_for(self, item: bytes | int) -> int:
         exponent = item if isinstance(item, int) else digest_to_exponent(item)
@@ -123,15 +130,58 @@ class OneWayAccumulator:
             raise ParameterError("accumulated exponents must exceed 1")
         return exponent
 
+    def exponent_product(self, items: list[bytes | int]) -> int:
+        """Plain integer product of the items' digest exponents.
+
+        Public integers — no group-order reduction exists (or is needed)
+        for an RSA modulus of unknown factorization, so the product is
+        exact and ``pow(base, exponent_product(items), n)`` equals the
+        item-by-item :meth:`step` chain.
+        """
+        product = 1
+        for item in items:
+            product *= self._exponent_for(item)
+        return product
+
+    def fold_product(self, current: int, items: list[bytes | int]) -> int:
+        """Fold every item into ``current`` with a single ``pow``.
+
+        Value-identical to repeated :meth:`step` (eq. 9); the batched
+        integrity ring uses this to collapse one hop's k fragment folds
+        into one exponentiation.
+        """
+        return pow(current, self.exponent_product(items), self.params.n)
+
+    def step_many(
+        self, currents: list[int], items: list[bytes | int], engine=None
+    ) -> list[int]:
+        """Element-wise :meth:`step` over aligned lists, engine-routed."""
+        if len(currents) != len(items):
+            raise ParameterError(
+                f"value count {len(currents)} != item count {len(items)}"
+            )
+        exponents = [self._exponent_for(item) for item in items]
+        return resolve_engine(engine).pow_many(currents, exponents, self.params.n)
+
     def witness_all(self, items: list[bytes | int], engine=None) -> list[int]:
         """Membership witnesses for *every* item at once.
 
         Witness ``i`` is ``x0`` raised to the product of all other items'
         exponents; exponentiation by the pre-multiplied product equals the
-        per-item chain (``(x^a)^b = x^(a·b) mod n``), so each result is
-        identical to :meth:`witness` — but the per-index chains collapse
-        into one independent ``pow`` each, which fans out across the
-        exponentiation engine's workers.
+        per-item chain (``(x^a)^b = x^(a·b) mod n``, eq. 9), so each
+        result is identical to :meth:`witness`.
+
+        Computed with the divide-and-conquer *RootFactor* subset-product
+        tree: the root holds ``x0`` over all k exponents; each node
+        covering exponent range ``[lo, hi)`` spawns a left child raised to
+        the product of the *right* half and vice versa, until the leaves
+        — exactly the k witnesses — remain.  Each of the ``log k`` levels
+        costs ``2^d`` modexps whose exponents total ~k small exponents, so
+        the whole tree is O(k log k) small-exponent work where the naive
+        per-index chains (or the prefix/suffix construction's k pows with
+        ~k-fold exponents) cost O(k²).  Every level's pows are batched
+        through the exponentiation engine, so wide levels fan out across
+        workers.
         """
         with self.tracer.span(
             "acc.witness_all",
@@ -142,19 +192,52 @@ class OneWayAccumulator:
     def _witness_all(self, items: list[bytes | int], engine=None) -> list[int]:
         exponents = [self._exponent_for(item) for item in items]
         k = len(exponents)
-        # prefix[i] = e_0..e_{i-1}, suffix[i] = e_i..e_{k-1}  (plain products:
-        # exponents are public integers, so no group-order reduction exists
-        # or is needed for an RSA modulus of unknown factorization).
-        prefix = [1] * (k + 1)
-        for i, e in enumerate(exponents):
-            prefix[i + 1] = prefix[i] * e
-        suffix = [1] * (k + 1)
-        for i in range(k - 1, -1, -1):
-            suffix[i] = suffix[i + 1] * exponents[i]
-        partials = [prefix[i] * suffix[i + 1] for i in range(k)]
-        return resolve_engine(engine).pow_many(
-            [self.params.x0] * k, partials, self.params.n
-        )
+        if k == 0:
+            return []
+        engine = resolve_engine(engine)
+        n = self.params.n
+        # Balanced product tree over exponent ranges (plain integer
+        # products: public exponents, no group-order reduction exists for
+        # an RSA modulus of unknown factorization).  Built once, read at
+        # every descent level.
+        products: dict[tuple[int, int], int] = {}
+
+        def build(lo: int, hi: int) -> int:
+            if hi - lo == 1:
+                products[(lo, hi)] = exponents[lo]
+            else:
+                mid = (lo + hi) // 2
+                products[(lo, hi)] = build(lo, mid) * build(mid, hi)
+            return products[(lo, hi)]
+
+        build(0, k)
+
+        witnesses = [0] * k
+        frontier: list[tuple[int, int, int]] = [(self.params.x0, 0, k)]
+        while frontier:
+            bases: list[int] = []
+            powers: list[int] = []
+            spans: list[tuple[int, int]] = []
+            for value, lo, hi in frontier:
+                if hi - lo == 1:
+                    witnesses[lo] = value
+                    continue
+                mid = (lo + hi) // 2
+                # Left child excludes the right half's exponents and vice
+                # versa — descending to a leaf excludes everything but it.
+                bases.append(value)
+                powers.append(products[(mid, hi)])
+                spans.append((lo, mid))
+                bases.append(value)
+                powers.append(products[(lo, mid)])
+                spans.append((mid, hi))
+            if not bases:
+                break
+            level = engine.pow_many(bases, powers, n)
+            frontier = [
+                (value, lo, hi) for value, (lo, hi) in zip(level, spans)
+            ]
+        return witnesses
 
     def verify_membership(
         self, item: bytes | int, witness: int, accumulated: int

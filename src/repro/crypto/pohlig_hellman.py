@@ -153,12 +153,20 @@ class MessageEncoder:
     * :meth:`encode_int` / :meth:`decode_int` — reversible shift encoding
       for integers in ``[0, p//4)``; used when the plaintext must be
       recovered after full decryption (secure set union).
+
+    ``cache`` is an optional :class:`~repro.cache.LruCache` memoizing
+    hashed encodings.  ``encode_hashed`` is a pure function of
+    ``(value, p)`` and ``p`` is fixed per encoder, so the memo key is
+    just the value's canonical bytes; repeated queries then skip the
+    SHA-256 rejection-sampling loop and the squaring entirely.  Cached
+    and uncached encodings are identical by construction.
     """
 
-    def __init__(self, p: int) -> None:
+    def __init__(self, p: int, cache=None) -> None:
         if p < 17:
             raise ParameterError("modulus too small to encode messages")
         self.p = p
+        self._cache = cache
 
     def _canonical_bytes(self, value) -> bytes:
         if isinstance(value, bytes):
@@ -185,25 +193,54 @@ class MessageEncoder:
 
     def encode_hashed(self, value) -> int:
         """One-way encoding of an arbitrary value into the QR subgroup."""
-        return pow(self._hash_to_unit(value), 2, self.p)
+        if self._cache is None:
+            return pow(self._hash_to_unit(value), 2, self.p)
+        key = self._canonical_bytes(value)
+        return self._cache.get_or_compute(
+            key, lambda: pow(self._hash_to_unit(value), 2, self.p)
+        )
 
     def encode_hashed_many(self, values, engine=None) -> list[int]:
         """Bulk :meth:`encode_hashed` (order preserved).
 
         Hashing is cheap; the squarings route through the exponentiation
         engine.  Element-wise equal to ``[encode_hashed(v) for v in values]``.
+        With a cache attached, only memo misses are hashed and squared.
         """
-        units = [self._hash_to_unit(v) for v in values]
-        return resolve_engine(engine).pow_many(units, 2, self.p)
+        if self._cache is None:
+            units = [self._hash_to_unit(v) for v in values]
+            return resolve_engine(engine).pow_many(units, 2, self.p)
+        out: list[int | None] = []
+        miss_positions: list[int] = []
+        miss_units: list[int] = []
+        miss_keys: list[bytes] = []
+        for i, value in enumerate(values):
+            key = self._canonical_bytes(value)
+            hit = self._cache.get(key)
+            out.append(hit)
+            if hit is None:
+                miss_positions.append(i)
+                miss_units.append(self._hash_to_unit(value))
+                miss_keys.append(key)
+        if miss_units:
+            squared = resolve_engine(engine).pow_many(miss_units, 2, self.p)
+            for position, key, encoding in zip(miss_positions, miss_keys, squared):
+                out[position] = encoding
+                self._cache.put(key, encoding)
+        return out  # type: ignore[return-value]
 
     def encode_int(self, value: int) -> int:
         """Reversible encoding of a small non-negative integer.
 
-        The value is shifted by 2 so that 0 and 1 (fixed points of
-        exponentiation for some exponents) are never used, then squared
-        into the QR subgroup is *not* applied (squaring is not reversible);
-        instead the raw shifted value is used, which is safe because the
-        cipher is a bijection on all of ``Z_p^*``.
+        The value is only shifted by 2, so that 0 (not a group element)
+        and 1 (a fixed point of exponentiation) are never used as
+        plaintexts.  Unlike :meth:`encode_hashed`, the result is *not*
+        squared into the QR subgroup: squaring is two-to-one on
+        ``Z_p^*`` and would make decoding ambiguous.  Skipping it is
+        safe here because the cipher is a bijection on all of
+        ``Z_p^*``, so encryption needs no subgroup confinement — only
+        the hashed (never-decoded) encoding pays the square for its
+        small-subgroup hygiene.
         """
         if value < 0 or value >= self.p // 4:
             raise ParameterError(

@@ -12,19 +12,47 @@ accumulator values travel.
 Both an in-process checker (:class:`IntegrityChecker`) and a message-driven
 ring protocol (:func:`run_integrity_round`) are provided; the ring form is
 what the networked service uses and what the integrity benchmarks measure.
+
+Because the log is append-only, the per-glsn ring's O(nodes × glsns) cost
+is almost entirely redundant, so two batched forms ride the same ring:
+
+* :func:`run_batched_integrity_round` — one *multi-glsn token* visits each
+  node once, folding that node's fragment for every requested glsn
+  (engine-routed, one ``pow`` per glsn per hop).  Identical per-glsn
+  reports at O(nodes) messages instead of O(nodes × glsns).
+* :func:`run_combined_integrity_round` — when the write path's running
+  *chain anchor* covers the requested glsns (no deletes), each hop
+  collapses its k fragment folds into a **single** ``pow`` with the
+  product of the k digest exponents (valid by eq. 9 quasi-commutativity:
+  ``(x^a)^b = x^(ab)``), giving one modexp and one message per node for
+  the whole log.  A mismatch is localized by falling back to the
+  per-glsn batched round.
+
+The in-process checker additionally memoizes per-glsn reports keyed by
+each node's fragment version (``repro.cache``), so ``check_all`` after an
+append folds only the new glsn.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cache import LruCache
 from repro.crypto.accumulator import OneWayAccumulator
 from repro.errors import IntegrityError, ProtocolAbortError
 from repro.logstore.store import DistributedLogStore, FragmentStore
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
 
-__all__ = ["IntegrityChecker", "IntegrityReport", "IntegrityNode", "run_integrity_round"]
+__all__ = [
+    "IntegrityChecker",
+    "IntegrityReport",
+    "BatchIntegrityReport",
+    "IntegrityNode",
+    "run_integrity_round",
+    "run_batched_integrity_round",
+    "run_combined_integrity_round",
+]
 
 
 @dataclass(frozen=True)
@@ -38,15 +66,50 @@ class IntegrityReport:
     messages: int = 0
 
 
-class IntegrityChecker:
-    """In-process integrity verification over a :class:`DistributedLogStore`."""
+@dataclass(frozen=True)
+class BatchIntegrityReport:
+    """Outcome of one batched/combined check over a glsn set."""
 
-    def __init__(self, store: DistributedLogStore) -> None:
+    glsns: tuple[int, ...]
+    ok: bool
+    mode: str  # "combined" | "per-glsn"
+    expected: int | None = None  # combined-mode anchor (None in per-glsn mode)
+    observed: int | None = None
+    reports: tuple[IntegrityReport, ...] = ()  # per-glsn verdicts, when computed
+
+
+class IntegrityChecker:
+    """In-process integrity verification over a :class:`DistributedLogStore`.
+
+    Per-glsn reports are memoized keyed by every node's fragment version
+    for that glsn: a glsn whose fragments no node has touched since the
+    last check is served from cache, so ``check_all`` after an append
+    re-folds only the newly appended glsn.  ``REPRO_CACHE=off`` restores
+    the always-recompute behaviour.
+    """
+
+    def __init__(self, store: DistributedLogStore, metrics=None) -> None:
         self.store = store
         self.accumulator: OneWayAccumulator = store.accumulator
+        self._report_cache = LruCache("integrity.report", metrics=metrics)
+
+    def _cache_key(self, glsn: int) -> tuple:
+        return (glsn,) + tuple(
+            (node_id, self.store.stores[node_id].fragment_version(glsn))
+            for node_id in sorted(self.store.stores)
+        )
 
     def check_glsn(self, glsn: int) -> IntegrityReport:
         """Fold every node's stored fragment; compare with the anchor."""
+        key = self._cache_key(glsn)
+        cached = self._report_cache.get(key)
+        if cached is not None:
+            return cached
+        report = self._check_glsn_uncached(glsn)
+        self._report_cache.put(key, report)
+        return report
+
+    def _check_glsn_uncached(self, glsn: int) -> IntegrityReport:
         observed = self.accumulator.params.x0
         expected = None
         for node_id in sorted(self.store.stores):
@@ -83,6 +146,7 @@ class IntegrityChecker:
 @dataclass
 class _RingState:
     reports: dict[int, IntegrityReport] = field(default_factory=dict)
+    combined: BatchIntegrityReport | None = None
 
 
 class IntegrityNode:
@@ -166,6 +230,14 @@ class IntegrityNode:
                 )
         elif msg.kind == "integ.done":
             self._finish(msg.payload["glsn"], msg.payload["value"])
+        elif msg.kind == "integ.mpass":
+            self._on_multi_pass(msg, transport)
+        elif msg.kind == "integ.mdone":
+            self._finish_batch(msg.payload["glsns"], msg.payload["values"])
+        elif msg.kind == "integ.cpass":
+            self._on_combined_pass(msg, transport)
+        elif msg.kind == "integ.cdone":
+            self._finish_combined(msg.payload["glsns"], msg.payload["value"])
         else:
             raise ProtocolAbortError(f"unexpected message kind {msg.kind!r}")
 
@@ -175,17 +247,154 @@ class IntegrityNode:
             glsn=glsn, ok=observed == expected, expected=expected, observed=observed
         )
 
+    # -- batched (multi-glsn token) mode ------------------------------------
 
-def run_integrity_round(
+    def _fragment_bytes(self, glsns: list[int]) -> list[bytes]:
+        return [self.store.local_fragment(g).canonical_bytes() for g in glsns]
+
+    def start_batch_check(self, transport, glsns: list[int]) -> None:
+        """One token carrying every glsn's running value (we fold first)."""
+        x0 = self.accumulator.params.x0
+        values = self.accumulator.step_many(
+            [x0] * len(glsns), self._fragment_bytes(glsns)
+        )
+        remaining = [n for n in self.ring if n != self.node_id]
+        self._forward_batch(transport, glsns, values, remaining)
+
+    def _forward_batch(
+        self, transport, glsns: list[int], values: list[int], remaining: list[str]
+    ) -> None:
+        if remaining:
+            transport.send(
+                Message(
+                    src=self.node_id,
+                    dst=remaining[0],
+                    kind="integ.mpass",
+                    payload={
+                        "glsns": glsns,
+                        "values": values,
+                        "remaining": remaining[1:],
+                        "origin": self.node_id,
+                    },
+                )
+            )
+        else:
+            self._finish_batch(glsns, values)
+
+    def _on_multi_pass(self, msg: Message, transport) -> None:
+        glsns = msg.payload["glsns"]
+        values = self.accumulator.step_many(
+            msg.payload["values"], self._fragment_bytes(glsns)
+        )
+        remaining = msg.payload["remaining"]
+        origin = msg.payload["origin"]
+        if remaining:
+            transport.send(
+                Message(
+                    src=self.node_id,
+                    dst=remaining[0],
+                    kind="integ.mpass",
+                    payload={
+                        "glsns": glsns,
+                        "values": values,
+                        "remaining": remaining[1:],
+                        "origin": origin,
+                    },
+                )
+            )
+        else:
+            transport.send(
+                Message(
+                    src=self.node_id,
+                    dst=origin,
+                    kind="integ.mdone",
+                    payload={"glsns": glsns, "values": values},
+                )
+            )
+
+    def _finish_batch(self, glsns: list[int], values: list[int]) -> None:
+        for glsn, observed in zip(glsns, values):
+            self._finish(glsn, observed)
+
+    # -- combined (single-pow-per-hop) mode ---------------------------------
+
+    def start_combined_check(self, transport, glsns: list[int]) -> None:
+        """One token, one value: each hop folds ALL its fragments at once."""
+        value = self.accumulator.fold_product(
+            self.accumulator.params.x0, self._fragment_bytes(glsns)
+        )
+        remaining = [n for n in self.ring if n != self.node_id]
+        self._forward_combined(transport, glsns, value, remaining)
+
+    def _forward_combined(
+        self, transport, glsns: list[int], value: int, remaining: list[str]
+    ) -> None:
+        if remaining:
+            transport.send(
+                Message(
+                    src=self.node_id,
+                    dst=remaining[0],
+                    kind="integ.cpass",
+                    payload={
+                        "glsns": glsns,
+                        "value": value,
+                        "remaining": remaining[1:],
+                        "origin": self.node_id,
+                    },
+                )
+            )
+        else:
+            self._finish_combined(glsns, value)
+
+    def _on_combined_pass(self, msg: Message, transport) -> None:
+        glsns = msg.payload["glsns"]
+        value = self.accumulator.fold_product(
+            msg.payload["value"], self._fragment_bytes(glsns)
+        )
+        remaining = msg.payload["remaining"]
+        origin = msg.payload["origin"]
+        if remaining:
+            transport.send(
+                Message(
+                    src=self.node_id,
+                    dst=remaining[0],
+                    kind="integ.cpass",
+                    payload={
+                        "glsns": glsns,
+                        "value": value,
+                        "remaining": remaining[1:],
+                        "origin": origin,
+                    },
+                )
+            )
+        else:
+            transport.send(
+                Message(
+                    src=self.node_id,
+                    dst=origin,
+                    kind="integ.cdone",
+                    payload={"glsns": glsns, "value": value},
+                )
+            )
+
+    def _finish_combined(self, glsns: list[int], observed: int) -> None:
+        expected = self.store.chain_anchor_for(glsns)
+        self.state.combined = BatchIntegrityReport(
+            glsns=tuple(glsns),
+            ok=expected is not None and observed == expected,
+            mode="combined",
+            expected=expected,
+            observed=observed,
+        )
+
+
+def _ring_setup(
     store: DistributedLogStore,
-    glsns: list[int] | None = None,
-    initiator: str | None = None,
-    net: SimNetwork | None = None,
-) -> list[IntegrityReport]:
-    """Run the ring protocol for each glsn on a simulated network.
-
-    Returns one report per glsn as observed by the initiating node.
-    """
+    glsns: list[int] | None,
+    initiator: str | None,
+    net: SimNetwork | None,
+) -> tuple[SimNetwork, dict[str, IntegrityNode], str, list[int]]:
+    """Common bootstrap: build and register one IntegrityNode per store."""
     net = net or SimNetwork()
     ring = sorted(store.stores)
     initiator = initiator or ring[0]
@@ -199,14 +408,120 @@ def run_integrity_round(
     }
     for node_id, node in nodes.items():
         net.register(node_id, node.handle)
-    targets = glsns if glsns is not None else store.glsns
-    for glsn in targets:
-        nodes[initiator].start_check(net, glsn)
-    net.run()
+    targets = list(glsns) if glsns is not None else store.glsns
+    return net, nodes, initiator, targets
+
+
+def _collect_reports(
+    node: IntegrityNode, targets: list[int]
+) -> list[IntegrityReport]:
     reports = []
     for glsn in targets:
-        report = nodes[initiator].state.reports.get(glsn)
+        report = node.state.reports.get(glsn)
         if report is None:
             raise ProtocolAbortError(f"no integrity verdict for glsn {glsn:#x}")
         reports.append(report)
     return reports
+
+
+def run_integrity_round(
+    store: DistributedLogStore,
+    glsns: list[int] | None = None,
+    initiator: str | None = None,
+    net: SimNetwork | None = None,
+) -> list[IntegrityReport]:
+    """Run the ring protocol for each glsn on a simulated network.
+
+    Returns one report per glsn as observed by the initiating node.
+    Circulates one token per glsn — O(nodes × glsns) messages; see
+    :func:`run_batched_integrity_round` for the O(nodes) form.
+    """
+    net, nodes, initiator, targets = _ring_setup(store, glsns, initiator, net)
+    for glsn in targets:
+        nodes[initiator].start_check(net, glsn)
+    net.run()
+    return _collect_reports(nodes[initiator], targets)
+
+
+def run_batched_integrity_round(
+    store: DistributedLogStore,
+    glsns: list[int] | None = None,
+    initiator: str | None = None,
+    net: SimNetwork | None = None,
+) -> list[IntegrityReport]:
+    """Batched §4.1 ring: one multi-glsn token, one message per hop.
+
+    Each hop folds its own stored fragment for *every* requested glsn
+    before forwarding, so an N-glsn check costs exactly ``nodes``
+    messages ((nodes−1) ``integ.mpass`` + 1 ``integ.mdone``) instead of
+    ``nodes × N``.  The per-glsn folds are value-identical to
+    :func:`run_integrity_round` — same observed accumulators, same
+    reports — only the transcript's message count changes.
+    """
+    net, nodes, initiator, targets = _ring_setup(store, glsns, initiator, net)
+    if not targets:
+        return []
+    nodes[initiator].start_batch_check(net, targets)
+    net.run()
+    return _collect_reports(nodes[initiator], targets)
+
+
+def run_combined_integrity_round(
+    store: DistributedLogStore,
+    glsns: list[int] | None = None,
+    initiator: str | None = None,
+    net: SimNetwork | None = None,
+    localize: bool = True,
+) -> BatchIntegrityReport:
+    """Single-pow-per-hop ring over the write path's chain anchor.
+
+    Applies when the requested glsns are a prefix of the append-only
+    chain (the whole log, absent deletes): each hop performs ONE
+    exponentiation with the product of its fragments' digest exponents
+    (eq. 9), and the final token must equal the running chain anchor the
+    write path handed every node.  Costs ``nodes`` messages and
+    ``nodes`` modexps for the entire log.
+
+    Falls back to :func:`run_batched_integrity_round` when no chain
+    anchor covers the request (e.g. after a delete), and — with
+    ``localize=True`` — also after a combined mismatch, to name the
+    tampered glsn(s) in ``reports``.
+    """
+    targets = list(glsns) if glsns is not None else store.glsns
+    ring = sorted(store.stores)
+    first = initiator or (ring[0] if ring else None)
+    anchor = (
+        store.stores[first].chain_anchor_for(targets)
+        if first in store.stores
+        else None
+    )
+    if anchor is None or not targets:
+        reports = run_batched_integrity_round(
+            store, glsns=targets, initiator=initiator, net=net
+        )
+        return BatchIntegrityReport(
+            glsns=tuple(targets),
+            ok=all(r.ok for r in reports),
+            mode="per-glsn",
+            reports=tuple(reports),
+        )
+    net = net or SimNetwork()
+    _, nodes, first, targets = _ring_setup(store, targets, initiator, net)
+    nodes[first].start_combined_check(net, targets)
+    net.run()
+    verdict = nodes[first].state.combined
+    if verdict is None:
+        raise ProtocolAbortError("combined integrity round produced no verdict")
+    if verdict.ok or not localize:
+        return verdict
+    reports = run_batched_integrity_round(
+        store, glsns=targets, initiator=initiator, net=net
+    )
+    return BatchIntegrityReport(
+        glsns=verdict.glsns,
+        ok=verdict.ok,
+        mode=verdict.mode,
+        expected=verdict.expected,
+        observed=verdict.observed,
+        reports=tuple(reports),
+    )

@@ -32,11 +32,47 @@ class FragmentStore:
         self.acl = AccessControlTable(authority)
         self._fragments: dict[int, Fragment] = {}
         self._accumulators: dict[int, int] = {}  # glsn -> expected A(x0, frags)
+        # Cache coherence: a monotonic store-wide epoch plus per-glsn
+        # versions, bumped on every mutation (put/delete/tamper).  Caches
+        # key on these, so stale entries are simply never looked up again.
+        self._epoch = 0
+        self._versions: dict[int, int] = {}
+        # Append-only chain anchors for the combined integrity ring:
+        # (glsn, A(x0, every fragment of every record up to this glsn)).
+        self._chain: list[tuple[int, int]] = []
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter — cache keys include it."""
+        return self._epoch
+
+    def fragment_version(self, glsn: int) -> int | None:
+        """Version of one fragment (bumped by put/tamper), None if absent."""
+        return self._versions.get(glsn)
+
+    def _bump(self, glsn: int, present: bool) -> None:
+        self._epoch += 1
+        if present:
+            self._versions[glsn] = self._epoch
+        else:
+            self._versions.pop(glsn, None)
 
     # -- writes ---------------------------------------------------------------
 
-    def put(self, fragment: Fragment, ticket: Ticket, expected_accumulator: int) -> None:
-        """Store a fragment under an authenticated WRITE ticket."""
+    def put(
+        self,
+        fragment: Fragment,
+        ticket: Ticket,
+        expected_accumulator: int,
+        chain_anchor: int | None = None,
+    ) -> None:
+        """Store a fragment under an authenticated WRITE ticket.
+
+        ``chain_anchor``, when given by the write path, is the running
+        accumulator over *all* fragments of *all* records appended so far
+        (this glsn included) — the anchor the combined integrity ring
+        checks against in one exponentiation per hop.
+        """
         if fragment.node_id != self.node_id:
             raise LogStoreError(
                 f"fragment addressed to {fragment.node_id}, this is {self.node_id}"
@@ -44,6 +80,9 @@ class FragmentStore:
         self.acl.grant(ticket, fragment.glsn)
         self._fragments[fragment.glsn] = fragment
         self._accumulators[fragment.glsn] = expected_accumulator
+        if chain_anchor is not None:
+            self._chain.append((fragment.glsn, chain_anchor))
+        self._bump(fragment.glsn, present=True)
 
     def delete(self, glsn: int, ticket: Ticket) -> None:
         """Delete a fragment under an authenticated DELETE ticket."""
@@ -52,6 +91,10 @@ class FragmentStore:
         self.acl.revoke_glsn(ticket, glsn)
         del self._fragments[glsn]
         self._accumulators.pop(glsn, None)
+        # Chain anchors at or after the deleted glsn fold its fragments
+        # and can never match again; the prefix before it stays valid.
+        self._chain = [entry for entry in self._chain if entry[0] < glsn]
+        self._bump(glsn, present=False)
 
     # -- reads ----------------------------------------------------------------
 
@@ -80,6 +123,20 @@ class FragmentStore:
             raise UnknownGlsnError(
                 f"{self.node_id} has no accumulator for glsn {glsn:#x}"
             ) from exc
+
+    def chain_anchor_for(self, glsns: list[int]) -> int | None:
+        """Combined anchor covering exactly ``glsns``, or None.
+
+        Available only when ``glsns`` equals a prefix of this store's
+        append-only chain (the common case: every current glsn, in
+        order, on a store that has seen no deletes).
+        """
+        if not glsns or len(glsns) > len(self._chain):
+            return None
+        prefix = self._chain[: len(glsns)]
+        if [g for g, _ in prefix] != list(glsns):
+            return None
+        return prefix[-1][1]
 
     @property
     def glsns(self) -> list[int]:
@@ -112,6 +169,9 @@ class FragmentStore:
         self._fragments[glsn] = Fragment(
             glsn=frag.glsn, node_id=frag.node_id, values=values
         )
+        # Even a malicious rewrite moves the epoch: the compromised node's
+        # own caches see its mutation (anchors, of course, do not).
+        self._bump(glsn, present=True)
 
 
 @dataclass(frozen=True)
@@ -147,22 +207,35 @@ class DistributedLogStore:
             node_id: FragmentStore(node_id, authority)
             for node_id in plan.node_ids
         }
+        # Running accumulator over every fragment of every record appended
+        # so far — the combined integrity ring's anchor.  Broken (None)
+        # once a record is deleted: the folded-in exponents cannot be
+        # divided back out without the modulus factorization.
+        self._chain_value: int | None = acc_params.x0
 
     def append(self, values: dict, ticket: Ticket) -> WriteReceipt:
         """Log one event: allocate a glsn, fragment, store everywhere.
 
         Computes the order-independent accumulator over all fragments and
-        hands it to every node — the anchor for §4.1 integrity checks.
+        hands it to every node — the anchor for §4.1 integrity checks —
+        plus the running *chain* anchor over the whole append-only log,
+        which lets the batched integrity ring verify every glsn with one
+        exponentiation per hop.
         """
         self.authority.verify(ticket, Operation.WRITE)
         glsn = self.allocator.allocate()
         record = LogRecord(glsn=glsn, values=values)
         fragments = self.plan.fragment(record)
-        digest = self.accumulator.accumulate_all(
-            [frag.canonical_bytes() for frag in fragments.values()]
-        )
+        fragment_bytes = [frag.canonical_bytes() for frag in fragments.values()]
+        digest = self.accumulator.accumulate_all(fragment_bytes)
+        if self._chain_value is not None:
+            self._chain_value = self.accumulator.fold_product(
+                self._chain_value, fragment_bytes
+            )
         for node_id, fragment in fragments.items():
-            self.stores[node_id].put(fragment, ticket, digest)
+            self.stores[node_id].put(
+                fragment, ticket, digest, chain_anchor=self._chain_value
+            )
         return WriteReceipt(
             glsn=glsn, accumulator=digest, nodes=tuple(sorted(fragments))
         )
@@ -193,6 +266,7 @@ class DistributedLogStore:
                 # A node that never held values still participates; treat a
                 # missing fragment on one node as already-deleted there.
                 continue
+        self._chain_value = None  # combined anchors after this glsn are void
 
     def node_store(self, node_id: str) -> FragmentStore:
         try:

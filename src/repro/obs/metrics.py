@@ -175,6 +175,24 @@ class MetricsRegistry:
 
     # -- export ------------------------------------------------------------
 
+    def value(self, name: str, labels: dict | None = None):
+        """Current value of one counter/gauge instance, or ``None``.
+
+        A read-only probe that never creates families or instances —
+        tests and report printers can ask for metrics that may not have
+        been emitted.  Histograms have no single value; asking for one
+        raises.
+        """
+        family = self._families.get(name)
+        if family is None:
+            return None
+        if family.kind == "histogram":
+            raise ConfigurationError(
+                f"metric {name!r} is a histogram; read it via snapshot()"
+            )
+        metric = family.instances.get(_label_key(labels))
+        return None if metric is None else metric.value
+
     def snapshot(self) -> dict:
         """Plain-dict dump: family -> {type, help, values-by-label-string}."""
         out: dict = {}

@@ -24,6 +24,7 @@ Selection: pass an engine (or spec string) explicitly, set the
 
 from __future__ import annotations
 
+import atexit
 import math
 import multiprocessing
 import os
@@ -41,6 +42,7 @@ __all__ = [
     "get_default_engine",
     "set_default_engine",
     "shutdown_shared_pool",
+    "ensure_shutdown_at_exit",
 ]
 
 ENGINE_ENV_VAR = "REPRO_PERF_ENGINE"
@@ -204,12 +206,39 @@ def _get_shared_pool() -> ProcessPoolEngine:
 
 
 def shutdown_shared_pool() -> None:
-    """Tear down the process-global worker pool (it re-creates on demand)."""
+    """Tear down the process-global worker pool (it re-creates on demand).
+
+    Idempotent: safe to call repeatedly, with or without a live pool, and
+    the pool lazily re-creates on the next use.
+    """
     global _shared_pool
     with _shared_pool_lock:
         if _shared_pool is not None:
             _shared_pool.close()
             _shared_pool = None
+
+
+_atexit_registered = False
+_atexit_lock = threading.Lock()
+
+
+def ensure_shutdown_at_exit() -> None:
+    """Register :func:`shutdown_shared_pool` with :mod:`atexit`, once.
+
+    Without this, a process that used the shared pool but never called
+    ``shutdown_shared_pool`` explicitly could hang at interpreter exit
+    waiting on worker processes (seen with short-lived benchmark runs).
+    Registration is idempotent; the hook itself is too, so explicit
+    shutdowns before exit are fine.
+    """
+    global _atexit_registered
+    with _atexit_lock:
+        if not _atexit_registered:
+            atexit.register(shutdown_shared_pool)
+            _atexit_registered = True
+
+
+ensure_shutdown_at_exit()
 
 
 class AutoEngine(ExponentiationEngine):

@@ -16,6 +16,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.cache import LruCache
 from repro.crypto.pohlig_hellman import MessageEncoder
 from repro.crypto.rng import DeterministicRng, system_rng
 from repro.errors import ConfigurationError, UnauthorizedObserverError
@@ -98,7 +99,12 @@ class SmcContext:
             raise ConfigurationError("shared prime too small")
         self.prime = prime
         self.rng = rng or system_rng()
-        self.encoder = MessageEncoder(prime)
+        # Hashed encodings are pure in (value, prime): memoize them so
+        # repeated protocol runs over the same elements skip the SHA-256
+        # rejection sampling and squaring (REPRO_CACHE=off disables).
+        self.encoder = MessageEncoder(
+            prime, cache=LruCache("encoder.hashed", metrics=metrics)
+        )
         self.engine = resolve_engine(engine)
         self.tracer = tracer or NOOP_TRACER
         self.metrics = metrics

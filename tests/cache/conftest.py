@@ -1,0 +1,12 @@
+"""Cache tests must never leak the kill-switch override across tests."""
+
+import pytest
+
+from repro.cache import set_caching_enabled
+
+
+@pytest.fixture(autouse=True)
+def _reset_cache_switch():
+    set_caching_enabled(None)
+    yield
+    set_caching_enabled(None)

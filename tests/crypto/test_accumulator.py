@@ -130,3 +130,49 @@ class TestWitnessAll:
 
     def test_empty(self, acc):
         assert acc.witness_all([]) == []
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7, 16, 21])
+    def test_tree_sizes(self, acc, k):
+        """The RootFactor tree matches per-index witnesses at every size
+        (powers of two, odd counts, and singletons exercise every split)."""
+        items = [f"frag-{i}".encode() for i in range(k)]
+        assert acc.witness_all(items) == [acc.witness(items, i) for i in range(k)]
+
+
+class TestProductFolds:
+    def test_exponent_product(self, acc):
+        from repro.crypto.accumulator import digest_to_exponent
+
+        items = [b"p0", b"p1", b"p2"]
+        expected = 1
+        for item in items:
+            expected *= digest_to_exponent(item)
+        assert acc.exponent_product(items) == expected
+        assert acc.exponent_product([]) == 1
+
+    def test_fold_product_equals_step_chain(self, acc):
+        items = [b"f0", b"f1", b"f2", b"f3"]
+        stepped = acc.params.x0
+        for item in items:
+            stepped = acc.step(stepped, item)
+        assert acc.fold_product(acc.params.x0, items) == stepped
+
+    def test_fold_product_order_independent(self, acc):
+        a = acc.fold_product(acc.params.x0, [b"x", b"y", b"z"])
+        b = acc.fold_product(acc.params.x0, [b"z", b"x", b"y"])
+        assert a == b
+
+    def test_step_many_elementwise(self, acc):
+        currents = [acc.params.x0, 7, 11]
+        items = [b"a", b"b", b"c"]
+        assert acc.step_many(currents, items) == [
+            acc.step(c, i) for c, i in zip(currents, items)
+        ]
+
+    def test_step_many_length_mismatch(self, acc):
+        with pytest.raises(ParameterError):
+            acc.step_many([acc.params.x0], [b"a", b"b"])
+
+    def test_fold_product_rejects_bad_exponent(self, acc):
+        with pytest.raises(ParameterError):
+            acc.fold_product(acc.params.x0, [1])

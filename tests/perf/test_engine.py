@@ -112,6 +112,37 @@ class TestAutoEngine:
         assert auto.estimate_work([], 3, P) == 0
 
 
+class TestSharedPoolShutdown:
+    def test_shutdown_idempotent(self):
+        from repro.perf import engine as engine_mod
+
+        # With or without a live pool, repeated shutdowns are no-ops.
+        engine_mod.shutdown_shared_pool()
+        engine_mod.shutdown_shared_pool()
+        pool = engine_mod._get_shared_pool()
+        assert engine_mod._shared_pool is pool
+        engine_mod.shutdown_shared_pool()
+        assert engine_mod._shared_pool is None
+        engine_mod.shutdown_shared_pool()
+
+    def test_atexit_registration_idempotent(self):
+        from repro.perf import engine as engine_mod
+
+        assert engine_mod._atexit_registered  # registered at import
+        engine_mod.ensure_shutdown_at_exit()
+        engine_mod.ensure_shutdown_at_exit()
+        assert engine_mod._atexit_registered
+
+    def test_pool_recreates_after_shutdown(self):
+        from repro.perf import engine as engine_mod
+
+        first = engine_mod._get_shared_pool()
+        engine_mod.shutdown_shared_pool()
+        second = engine_mod._get_shared_pool()
+        assert second is not first
+        engine_mod.shutdown_shared_pool()
+
+
 class TestResolution:
     def test_spec_strings(self):
         assert isinstance(resolve_engine("serial"), SerialEngine)
