@@ -31,6 +31,7 @@ from repro.logstore.fragmentation import FragmentPlan
 from repro.logstore.schema import GlobalSchema
 from repro.logstore.store import DistributedLogStore
 from repro.net.simnet import SimNetwork
+from repro.resilience import Deadline
 from repro.smc.base import SmcContext, protocol_span
 from repro.smc.comparison import (
     evaluate_operator,
@@ -140,8 +141,19 @@ class QueryExecutor:
 
     # -- public API -----------------------------------------------------------
 
-    def execute(self, criterion: str | QueryPlan, net: SimNetwork | None = None) -> QueryResult:
-        """Evaluate an auditing criterion; returns the glsn-keyed result."""
+    def execute(
+        self,
+        criterion: str | QueryPlan,
+        net: SimNetwork | None = None,
+        deadline: Deadline | None = None,
+    ) -> QueryResult:
+        """Evaluate an auditing criterion; returns the glsn-keyed result.
+
+        ``deadline`` propagates into every SMC round the plan triggers:
+        each protocol launch (and, on a resilient net, each failover)
+        checks the remaining budget and raises a typed
+        :class:`~repro.errors.DeadlineExceededError` once spent.
+        """
         tracer = self.ctx.tracer
         net = net or SimNetwork(tracer=tracer)
         with protocol_span(self.ctx, net, "query.execute") as span:
@@ -172,9 +184,11 @@ class QueryExecutor:
             for sq in ordered_subqueries:
                 per_node: dict[str, set[int]] = {}
                 for cp in sq.predicates:
-                    node, glsns = self._evaluate_predicate(cp.predicate, qplan, net)
+                    node, glsns = self._evaluate_predicate(
+                        cp.predicate, qplan, net, deadline
+                    )
                     per_node.setdefault(node, set()).update(glsns)
-                clause_glsns = self._merge_union(per_node, net)
+                clause_glsns = self._merge_union(per_node, net, deadline)
                 anchor = min(per_node) if per_node else min(sq.nodes)
                 subquery_glsns[sq.label] = sorted(clause_glsns)
                 if anchor in clause_sets:
@@ -193,7 +207,7 @@ class QueryExecutor:
                         bytes=net.stats.bytes - start_bytes,
                     )
 
-            final = self._merge_intersection(clause_sets, net)
+            final = self._merge_intersection(clause_sets, net, deadline)
             span.set_attribute("matches", len(final))
             return QueryResult(
                 plan=qplan,
@@ -209,6 +223,7 @@ class QueryExecutor:
         attribute: str,
         criterion: str | None = None,
         net: SimNetwork | None = None,
+        deadline: Deadline | None = None,
     ) -> AggregateResult:
         """Confidential aggregate over ``attribute`` of matching records.
 
@@ -223,7 +238,7 @@ class QueryExecutor:
         with protocol_span(
             self.ctx, net, "query.aggregate", {"op": op, "attribute": attribute}
         ):
-            return self._aggregate_inner(op, attribute, criterion, net)
+            return self._aggregate_inner(op, attribute, criterion, net, deadline)
 
     def _aggregate_inner(
         self,
@@ -231,9 +246,12 @@ class QueryExecutor:
         attribute: str,
         criterion: str | None,
         net: SimNetwork,
+        deadline: Deadline | None = None,
     ) -> AggregateResult:
         if criterion is not None:
-            matching: set[int] | None = set(self.execute(criterion, net=net).glsns)
+            matching: set[int] | None = set(
+                self.execute(criterion, net=net, deadline=deadline).glsns
+            )
         else:
             matching = None
 
@@ -259,7 +277,11 @@ class QueryExecutor:
                     owner: sorted(self._present_glsns(owner, attribute, matching))
                     for owner in owners
                 }
-                total = len(secure_set_union(self.ctx, presence, net=net).any_value)
+                total = len(
+                    secure_set_union(
+                        self.ctx, presence, net=net, deadline=deadline
+                    ).any_value
+                )
             return AggregateResult(op=op, attribute=attribute, value=total, matched=matched)
 
         if op == "sum":
@@ -270,7 +292,9 @@ class QueryExecutor:
             if len(scaled) == 1:
                 total_scaled = next(iter(scaled.values()))
             else:
-                total_scaled = secure_sum(self.ctx, scaled, net=net).any_value
+                total_scaled = secure_sum(
+                    self.ctx, scaled, net=net, deadline=deadline
+                ).any_value
             value: object = total_scaled / _NUMERIC_SCALE
             if all(isinstance(v, int) for vals in partials.values() for v in vals):
                 value = total_scaled // _NUMERIC_SCALE
@@ -295,6 +319,7 @@ class QueryExecutor:
                 value_bound=self.value_bound,
                 net=net,
                 group_label=f"agg-{self._session}",
+                deadline=deadline,
             )
             key = "argmax" if op == "max" else "argmin"
             holder = ranking.any_value[key]
@@ -314,6 +339,7 @@ class QueryExecutor:
         criterion: str | None = None,
         min_group_size: int = 1,
         net: SimNetwork | None = None,
+        deadline: Deadline | None = None,
     ) -> dict[object, AggregateResult]:
         """Confidential GROUP BY: per-group aggregates across two nodes.
 
@@ -334,7 +360,7 @@ class QueryExecutor:
         net = net or SimNetwork(tracer=self.ctx.tracer)
         matching: set[int] | None = None
         if criterion is not None:
-            matching = set(self.execute(criterion, net=net).glsns)
+            matching = set(self.execute(criterion, net=net, deadline=deadline).glsns)
 
         group_node = self.plan.home_of(group_by)
         groups: dict[object, list[int]] = {}
@@ -387,7 +413,11 @@ class QueryExecutor:
     # -- predicate evaluation ---------------------------------------------------
 
     def _evaluate_predicate(
-        self, pred: Predicate, qplan: QueryPlan, net: SimNetwork
+        self,
+        pred: Predicate,
+        qplan: QueryPlan,
+        net: SimNetwork,
+        deadline: Deadline | None = None,
     ) -> tuple[str, set[int]]:
         """Returns ``(holder_node, satisfying glsns)``."""
         strategy = qplan.strategies[str(pred)]
@@ -405,9 +435,9 @@ class QueryExecutor:
                 node = strategy.nodes[0]
                 result = node, self._local_scan(node, pred)
             elif strategy.primitive == "ssi":
-                result = self._cross_equality(pred, strategy.nodes, net)
+                result = self._cross_equality(pred, strategy.nodes, net, deadline)
             elif strategy.primitive == "scmp":
-                result = self._cross_order(pred, strategy.nodes, net)
+                result = self._cross_order(pred, strategy.nodes, net, deadline)
             else:
                 raise PlanningError(f"unknown strategy {strategy.primitive!r}")
             span.set_attribute("matches", len(result[1]))
@@ -466,7 +496,11 @@ class QueryExecutor:
         return out
 
     def _cross_equality(
-        self, pred: Predicate, nodes: tuple[str, ...], net: SimNetwork
+        self,
+        pred: Predicate,
+        nodes: tuple[str, ...],
+        net: SimNetwork,
+        deadline: Deadline | None = None,
     ) -> tuple[str, set[int]]:
         left_node, right_node = nodes[0], nodes[1]
         right_attr: AttributeRef = pred.right  # type: ignore[assignment]
@@ -476,6 +510,7 @@ class QueryExecutor:
             self.ctx,
             {left_node: sorted(left_pairs), right_node: sorted(right_pairs)},
             net=net,
+            deadline=deadline,
         )
         eq_glsns = {int(composite.split("|", 1)[0]) for composite in result.any_value}
         if pred.op == "=":
@@ -488,6 +523,7 @@ class QueryExecutor:
                 right_node: sorted(self._present_glsns(right_node, right_attr.name)),
             },
             net=net,
+            deadline=deadline,
         )
         return left_node, set(presence.any_value) - eq_glsns
 
@@ -499,7 +535,11 @@ class QueryExecutor:
         }
 
     def _cross_order(
-        self, pred: Predicate, nodes: tuple[str, ...], net: SimNetwork
+        self,
+        pred: Predicate,
+        nodes: tuple[str, ...],
+        net: SimNetwork,
+        deadline: Deadline | None = None,
     ) -> tuple[str, set[int]]:
         left_node, right_node = nodes[0], nodes[1]
         right_attr: AttributeRef = pred.right  # type: ignore[assignment]
@@ -510,6 +550,7 @@ class QueryExecutor:
                 right_node: sorted(self._present_glsns(right_node, right_attr.name)),
             },
             net=net,
+            deadline=deadline,
         ).any_value
         left_store = self.store.node_store(left_node)
         right_store = self.store.node_store(right_node)
@@ -532,6 +573,7 @@ class QueryExecutor:
                 value_bound=self.value_bound,
                 net=net,
                 session=f"qb-{self._session}",
+                deadline=deadline,
             ).any_value
             for glsn, verdict in zip(ordered, verdicts):
                 if evaluate_operator(pred.op, verdict):
@@ -546,6 +588,7 @@ class QueryExecutor:
                 value_bound=self.value_bound,
                 net=net,
                 session=f"q-{self._session}-{glsn}",
+                deadline=deadline,
             ).any_value
             if evaluate_operator(pred.op, verdict):
                 out.add(glsn)
@@ -554,7 +597,10 @@ class QueryExecutor:
     # -- set merging ---------------------------------------------------------
 
     def _merge_union(
-        self, per_node: dict[str, set[int]], net: SimNetwork
+        self,
+        per_node: dict[str, set[int]],
+        net: SimNetwork,
+        deadline: Deadline | None = None,
     ) -> set[int]:
         """Disjunction inside a clause: secure union across holder nodes."""
         if not per_node:
@@ -568,11 +614,15 @@ class QueryExecutor:
                 self.ctx,
                 {node: sorted(glsns) for node, glsns in per_node.items()},
                 net=net,
+                deadline=deadline,
             )
         return set(result.any_value)
 
     def _merge_intersection(
-        self, clause_sets: dict[str, set[int]], net: SimNetwork
+        self,
+        clause_sets: dict[str, set[int]],
+        net: SimNetwork,
+        deadline: Deadline | None = None,
     ) -> set[int]:
         """Final conjunction: secure set intersection keyed by glsn."""
         if not clause_sets:
@@ -590,5 +640,6 @@ class QueryExecutor:
                 self.ctx,
                 {node: sorted(glsns) for node, glsns in clause_sets.items()},
                 net=net,
+                deadline=deadline,
             )
         return set(result.any_value)

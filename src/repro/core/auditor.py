@@ -27,23 +27,31 @@ class Auditor:
     service: ConfidentialAuditingService
     reports: list[AuditReport] = field(default_factory=list)
 
-    def query(self, criterion: str) -> QueryResult:
+    def query(
+        self, criterion: str, timeout: float | None = None
+    ) -> QueryResult:
         """Unsigned confidential query (exploration)."""
-        return self.service.query(criterion)
+        return self.service.query(criterion, timeout=timeout)
 
-    def audited_query(self, criterion: str) -> AuditReport:
+    def audited_query(
+        self, criterion: str, timeout: float | None = None
+    ) -> AuditReport:
         """Signed query: result passes agreement + threshold signature."""
-        report = self.service.audited_query(criterion)
+        report = self.service.audited_query(criterion, timeout=timeout)
         if not self.service.verify_report(report):
             raise AuditError("cluster returned a report that fails verification")
         self.reports.append(report)
         return report
 
     def aggregate(
-        self, op: str, attribute: str, criterion: str | None = None
+        self,
+        op: str,
+        attribute: str,
+        criterion: str | None = None,
+        timeout: float | None = None,
     ) -> AggregateResult:
         """Confidential statistics: number of transactions, volumes, ..."""
-        return self.service.aggregate(op, attribute, criterion)
+        return self.service.aggregate(op, attribute, criterion, timeout=timeout)
 
     def check_rule(self, rule: Rule) -> RuleVerdict:
         """Evaluate one transaction rule r_j(T) confidentially."""

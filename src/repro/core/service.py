@@ -38,6 +38,7 @@ from repro.logstore.integrity import (
     run_batched_integrity_round,
     run_integrity_round,
 )
+from repro.resilience import Deadline, RetryPolicy
 from repro.logstore.records import LogRecord
 from repro.logstore.schema import GlobalSchema
 from repro.logstore.store import DistributedLogStore, WriteReceipt
@@ -86,6 +87,17 @@ class ConfidentialAuditingService:
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` fed by the
         network and crypto ledgers of every traced query.
+    resilience:
+        Optional :class:`~repro.resilience.RetryPolicy`.  When set, every
+        per-query network is built reliable: lost/corrupted frames are
+        retransmitted with deterministic backoff, duplicates are dropped
+        at the receiver, and ring protocols run under failover
+        supervision (re-route around bad links, exclude dead nodes with
+        an explicitly ``degraded`` result).  ``None`` (the default) keeps
+        the legacy fail-fast semantics.
+    faults:
+        Optional :class:`~repro.net.faults.FaultPlan` applied to every
+        per-query network — the chaos-testing hook.
     """
 
     def __init__(
@@ -97,8 +109,12 @@ class ConfidentialAuditingService:
         rng: DeterministicRng | None = None,
         tracer=None,
         metrics=None,
+        resilience: RetryPolicy | None = None,
+        faults=None,
     ) -> None:
         self.rng = rng or system_rng()
+        self.resilience = resilience
+        self.faults = faults
         self.schema = schema
         self.plan = plan
         self.tracer = tracer or NOOP_TRACER
@@ -189,7 +205,12 @@ class ConfidentialAuditingService:
 
     def _fresh_net(self) -> SimNetwork:
         """A per-query simulated network wired into the tracer/metrics."""
-        return SimNetwork(tracer=self.tracer, metrics=self.metrics)
+        return SimNetwork(
+            tracer=self.tracer,
+            metrics=self.metrics,
+            resilience=self.resilience,
+            faults=self.faults,
+        )
 
     def _collect_cost(self, net: SimNetwork, ops_before: Counter) -> CostReport:
         """CostReport for one query: the net's totals + the crypto delta."""
@@ -200,23 +221,39 @@ class ConfidentialAuditingService:
         self.last_query_cost = report
         return report
 
-    def query(self, criterion: str) -> QueryResult:
-        """Run one confidential auditing query (no report signing)."""
+    def query(self, criterion: str, timeout: float | None = None) -> QueryResult:
+        """Run one confidential auditing query (no report signing).
+
+        ``timeout`` (seconds) becomes a :class:`~repro.resilience.Deadline`
+        that propagates down through the executor into every SMC round;
+        when it expires the query raises a typed
+        :class:`~repro.errors.DeadlineExceededError` instead of hanging.
+        """
         net = self._fresh_net()
         ops_before = Counter(self.ctx.crypto_ops.ops)
-        result = self.executor.execute(criterion, net=net)
+        result = self.executor.execute(
+            criterion, net=net, deadline=Deadline.after(timeout)
+        )
         self._collect_cost(net, ops_before)
         return result
 
-    def aggregate(self, op: str, attribute: str, criterion: str | None = None) -> AggregateResult:
+    def aggregate(
+        self,
+        op: str,
+        attribute: str,
+        criterion: str | None = None,
+        timeout: float | None = None,
+    ) -> AggregateResult:
         """Confidential aggregate (sum / count / max / min)."""
         net = self._fresh_net()
         ops_before = Counter(self.ctx.crypto_ops.ops)
-        result = self.executor.aggregate(op, attribute, criterion, net=net)
+        result = self.executor.aggregate(
+            op, attribute, criterion, net=net, deadline=Deadline.after(timeout)
+        )
         self._collect_cost(net, ops_before)
         return result
 
-    def audited_query(self, criterion: str) -> AuditReport:
+    def audited_query(self, criterion: str, timeout: float | None = None) -> AuditReport:
         """Query + majority agreement + threshold-signed release.
 
         Every DLA node is modeled as computing the result; the digests
@@ -235,7 +272,9 @@ class ConfidentialAuditingService:
         ops_before = Counter(self.ctx.crypto_ops.ops)
         leakage_before = self.ctx.leakage.count()
         with self.tracer.span("audit.query", {"criterion": criterion}) as span:
-            result = self.executor.execute(criterion, net=net)
+            result = self.executor.execute(
+                criterion, net=net, deadline=Deadline.after(timeout)
+            )
             digest = digest_result(sorted(result.glsns))
             local_digests = {node_id: digest for node_id in self.plan.node_ids}
             agreed, _ = run_majority_agreement(local_digests)
@@ -301,19 +340,28 @@ class ConfidentialAuditingService:
     # -- integrity ------------------------------------------------------------------
 
     def check_integrity(
-        self, distributed: bool = True, batched: bool = True
+        self, distributed: bool = True, batched: bool = True,
+        timeout: float | None = None,
     ) -> list[IntegrityReport]:
         """§4.1 integrity cross-check of every stored record.
 
         ``batched=True`` (the default) circulates one multi-glsn ring
         token — O(nodes) messages for the whole log; ``batched=False``
         replays the legacy one-token-per-glsn ring.  Reports are
-        identical either way.
+        identical either way.  With :attr:`resilience` set, the ring is
+        failover-supervised: unreachable nodes are routed around or
+        excluded, and reports over an incomplete fold come back
+        explicitly unverified (``verified=False``, ``skipped_nodes``).
         """
         if distributed:
+            deadline = Deadline.after(timeout)
             if batched:
-                return run_batched_integrity_round(self.store)
-            return run_integrity_round(self.store)
+                return run_batched_integrity_round(
+                    self.store, net=self._fresh_net(), deadline=deadline
+                )
+            return run_integrity_round(
+                self.store, net=self._fresh_net(), deadline=deadline
+            )
         return IntegrityChecker(self.store, metrics=self.metrics).check_all()
 
     # -- introspection ----------------------------------------------------------------

@@ -60,12 +60,60 @@ class TransportClosedError(NetworkError):
     """An operation was attempted on a closed transport."""
 
 
+class TransportTimeout(NetworkError):
+    """A transport operation (connect, receive) exceeded its time budget."""
+
+
+class DeadlineExceededError(NetworkError):
+    """A propagated :class:`~repro.resilience.Deadline` expired mid-operation.
+
+    Carries ``stage`` naming where the budget ran out, so callers can
+    attribute the failure (planner, a specific SMC round, a transport
+    wait...).
+    """
+
+    def __init__(self, message: str, stage: str = "") -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
+class DeliveryFailedError(NetworkError):
+    """At-least-once delivery exhausted its retry budget for a link.
+
+    ``links`` lists the ``(src, dst)`` pairs that could not be reached;
+    the ring supervisors use it to plan failover.
+    """
+
+    def __init__(self, message: str, links: tuple | None = None) -> None:
+        super().__init__(message)
+        self.links = tuple(links or ())
+
+
 class SmcError(ReproError):
     """Base class for secure-multiparty-computation protocol failures."""
 
 
 class ProtocolAbortError(SmcError):
     """A participant aborted the protocol (malformed round, timeout...)."""
+
+
+class RingFailoverError(ProtocolAbortError):
+    """Ring failover could not restore a quorum able to finish the round.
+
+    ``skipped`` names the nodes excluded before the run was abandoned and
+    ``failed_links`` the directed links whose delivery retries exhausted —
+    a typed, attributed account of *why* the protocol gave up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        skipped: tuple[str, ...] = (),
+        failed_links: tuple | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.skipped = tuple(skipped)
+        self.failed_links = tuple(failed_links or ())
 
 
 class UnauthorizedObserverError(SmcError):

@@ -35,14 +35,15 @@ append folds only the new glsn.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cache import LruCache
 from repro.crypto.accumulator import OneWayAccumulator
-from repro.errors import IntegrityError, ProtocolAbortError
+from repro.errors import IntegrityError, ProtocolAbortError, RingFailoverError
 from repro.logstore.store import DistributedLogStore, FragmentStore
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
+from repro.resilience import Deadline, ring_avoiding, supervise_ring
 
 __all__ = [
     "IntegrityChecker",
@@ -57,13 +58,22 @@ __all__ = [
 
 @dataclass(frozen=True)
 class IntegrityReport:
-    """Outcome of checking one glsn (or a batch)."""
+    """Outcome of checking one glsn (or a batch).
+
+    ``verified`` is ``False`` when ring failover had to exclude nodes
+    (named in ``skipped_nodes``): the fold is then incomplete, so the
+    check can neither confirm integrity nor prove tampering — ``ok`` is
+    forced ``False`` and the report is explicitly *unverified*, never a
+    false "intact" or a false tamper accusation.
+    """
 
     glsn: int
     ok: bool
     expected: int
     observed: int
     messages: int = 0
+    verified: bool = True
+    skipped_nodes: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -76,6 +86,8 @@ class BatchIntegrityReport:
     expected: int | None = None  # combined-mode anchor (None in per-glsn mode)
     observed: int | None = None
     reports: tuple[IntegrityReport, ...] = ()  # per-glsn verdicts, when computed
+    verified: bool = True  # False when failover skipped nodes (see IntegrityReport)
+    skipped_nodes: tuple[str, ...] = ()
 
 
 class IntegrityChecker:
@@ -166,7 +178,9 @@ class IntegrityNode:
         self.node_id = node_id
         self.store = store
         self.accumulator = accumulator
-        self.ring = sorted(ring)
+        # Order is honoured (quasi-commutativity makes any order valid),
+        # so a failover supervisor can hand in a ring that avoids bad links.
+        self.ring = list(ring)
         self.state = _RingState()
 
     def start_check(self, transport, glsn: int) -> None:
@@ -424,22 +438,102 @@ def _collect_reports(
     return reports
 
 
+def _supervised_round(
+    store: DistributedLogStore,
+    targets: list[int],
+    initiator: str,
+    net: SimNetwork,
+    deadline: Deadline | None,
+    mode: str,
+):
+    """Failover-supervised §4.1 ring (any of the three token modes).
+
+    A bad link is routed around (any ring order is valid by eq. 9
+    quasi-commutativity); a dead node is excluded, in which case the
+    resulting reports are *unverified* — the fold is missing that node's
+    fragments, so neither "intact" nor "tampered" can be claimed.  The
+    initiator is essential: it holds the anchor the token is compared to.
+    """
+    ring_all = sorted(store.stores)
+    nodes_box: dict[str, IntegrityNode] = {}
+
+    def launch(alive: list[str], avoid: frozenset):
+        if initiator not in alive:
+            raise RingFailoverError(
+                f"integrity_ring: initiator {initiator!r} is unreachable"
+            )
+        order = ring_avoiding(alive, avoid)
+        pivot = order.index(initiator)
+        order = order[pivot:] + order[:pivot]
+        nodes_box.clear()
+        nodes_box.update(
+            {
+                nid: IntegrityNode(nid, store.stores[nid], store.accumulator, order)
+                for nid in alive
+            }
+        )
+        for nid, node in nodes_box.items():
+            net.register(nid, node.handle)
+        init = nodes_box[initiator]
+        if mode == "per-glsn":
+            for glsn in targets:
+                init.start_check(net, glsn)
+        elif mode == "batched":
+            init.start_batch_check(net, targets)
+        else:
+            init.start_combined_check(net, targets)
+
+        def collect():
+            node = nodes_box[initiator]
+            if mode == "combined":
+                if node.state.combined is None:
+                    return None
+                return {"combined": node.state.combined}
+            if any(glsn not in node.state.reports for glsn in targets):
+                return None
+            return {"reports": [node.state.reports[glsn] for glsn in targets]}
+
+        return collect
+
+    return supervise_ring(
+        net, "integrity_ring", ring_all, launch,
+        essential=[initiator], min_parties=1, deadline=deadline,
+    )
+
+
+def _degrade(reports: list[IntegrityReport], skipped: tuple[str, ...]):
+    """Mark reports from an incomplete fold as explicitly unverified."""
+    return [
+        replace(r, ok=False, verified=False, skipped_nodes=skipped)
+        for r in reports
+    ]
+
+
 def run_integrity_round(
     store: DistributedLogStore,
     glsns: list[int] | None = None,
     initiator: str | None = None,
     net: SimNetwork | None = None,
+    deadline: Deadline | None = None,
 ) -> list[IntegrityReport]:
     """Run the ring protocol for each glsn on a simulated network.
 
     Returns one report per glsn as observed by the initiating node.
     Circulates one token per glsn — O(nodes × glsns) messages; see
-    :func:`run_batched_integrity_round` for the O(nodes) form.
+    :func:`run_batched_integrity_round` for the O(nodes) form.  On a
+    resilient network the ring is failover-supervised (see
+    :func:`_supervised_round`).
     """
     net, nodes, initiator, targets = _ring_setup(store, glsns, initiator, net)
+    if net.reliable:
+        outcome = _supervised_round(
+            store, targets, initiator, net, deadline, "per-glsn"
+        )
+        reports = outcome.values["reports"]
+        return _degrade(reports, outcome.skipped) if outcome.degraded else reports
     for glsn in targets:
         nodes[initiator].start_check(net, glsn)
-    net.run()
+    net.run(deadline=deadline)
     return _collect_reports(nodes[initiator], targets)
 
 
@@ -448,6 +542,7 @@ def run_batched_integrity_round(
     glsns: list[int] | None = None,
     initiator: str | None = None,
     net: SimNetwork | None = None,
+    deadline: Deadline | None = None,
 ) -> list[IntegrityReport]:
     """Batched §4.1 ring: one multi-glsn token, one message per hop.
 
@@ -461,8 +556,14 @@ def run_batched_integrity_round(
     net, nodes, initiator, targets = _ring_setup(store, glsns, initiator, net)
     if not targets:
         return []
+    if net.reliable:
+        outcome = _supervised_round(
+            store, targets, initiator, net, deadline, "batched"
+        )
+        reports = outcome.values["reports"]
+        return _degrade(reports, outcome.skipped) if outcome.degraded else reports
     nodes[initiator].start_batch_check(net, targets)
-    net.run()
+    net.run(deadline=deadline)
     return _collect_reports(nodes[initiator], targets)
 
 
@@ -472,6 +573,7 @@ def run_combined_integrity_round(
     initiator: str | None = None,
     net: SimNetwork | None = None,
     localize: bool = True,
+    deadline: Deadline | None = None,
 ) -> BatchIntegrityReport:
     """Single-pow-per-hop ring over the write path's chain anchor.
 
@@ -497,25 +599,42 @@ def run_combined_integrity_round(
     )
     if anchor is None or not targets:
         reports = run_batched_integrity_round(
-            store, glsns=targets, initiator=initiator, net=net
+            store, glsns=targets, initiator=initiator, net=net, deadline=deadline
+        )
+        skipped = tuple(
+            sorted({n for r in reports for n in getattr(r, "skipped_nodes", ())})
         )
         return BatchIntegrityReport(
             glsns=tuple(targets),
             ok=all(r.ok for r in reports),
             mode="per-glsn",
             reports=tuple(reports),
+            verified=not skipped,
+            skipped_nodes=skipped,
         )
     net = net or SimNetwork()
     _, nodes, first, targets = _ring_setup(store, targets, initiator, net)
-    nodes[first].start_combined_check(net, targets)
-    net.run()
-    verdict = nodes[first].state.combined
+    if net.reliable:
+        outcome = _supervised_round(
+            store, targets, first, net, deadline, "combined"
+        )
+        verdict = outcome.values["combined"]
+        if outcome.degraded:
+            # The fold skipped a node, so neither the combined verdict nor
+            # a localizing re-run can be trusted — report unverified.
+            return replace(
+                verdict, ok=False, verified=False, skipped_nodes=outcome.skipped
+            )
+    else:
+        nodes[first].start_combined_check(net, targets)
+        net.run(deadline=deadline)
+        verdict = nodes[first].state.combined
     if verdict is None:
         raise ProtocolAbortError("combined integrity round produced no verdict")
     if verdict.ok or not localize:
         return verdict
     reports = run_batched_integrity_round(
-        store, glsns=targets, initiator=initiator, net=net
+        store, glsns=targets, initiator=initiator, net=net, deadline=deadline
     )
     return BatchIntegrityReport(
         glsns=verdict.glsns,

@@ -4,7 +4,11 @@ The real-socket transport and the simulated network share one encoding so
 byte counts are comparable.  JSON is the body format; Python's arbitrary-
 precision ints (ciphertexts, shares, commitments routinely exceed 2^64) are
 encoded losslessly as ``{"__bigint__": "<hex>"}`` wrappers, and ``bytes`` as
-``{"__bytes__": "<hex>"}``.  Frames are ``4-byte big-endian length || body``.
+``{"__bytes__": "<hex>"}``.  Frames are ``4-byte big-endian length ||
+4-byte CRC-32 of the body || body``; the checksum lets stream transports
+*detect* payload corruption (a tampered or bit-flipped frame) instead of
+dispatching garbage — the resilience layer then treats a corrupt frame as
+a loss and repairs it by retransmission.
 
 Batched fast path: an all-int list containing at least one big int — the
 shape of every ciphertext vector the SMC ring protocols ship — encodes as
@@ -17,12 +21,20 @@ frames produced by the legacy per-element encoder.
 from __future__ import annotations
 
 import json
-from typing import Any
+import zlib
+from typing import Any, Callable
 
 from repro.errors import CodecError
 from repro.net.message import Message
 
-__all__ = ["encode_message", "decode_message", "encode_frame", "decode_frames", "encoded_size"]
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "encode_frame",
+    "decode_frames",
+    "encoded_size",
+    "FRAME_HEADER_BYTES",
+]
 
 _MAX_FRAME = 64 * 1024 * 1024  # 64 MiB guard against corrupted length prefixes
 _JSON_SAFE_INT = 1 << 53       # beyond this, ints round-trip unreliably via JSON readers
@@ -107,6 +119,8 @@ def encode_message(msg: Message) -> bytes:
             "seq": msg.seq,
             "payload": _pack(msg.payload),
         }
+        if msg.msg_id is not None:
+            body["mid"] = msg.msg_id
         return json.dumps(body, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise CodecError(f"failed to encode message {msg.kind!r}: {exc}") from exc
@@ -123,31 +137,59 @@ def decode_message(data: bytes) -> Message:
             payload=_unpack(body.get("payload")),
         )
         msg.seq = body.get("seq", msg.seq)
+        msg.msg_id = body.get("mid")
         msg.size_bytes = len(data)
         return msg
     except (KeyError, ValueError, UnicodeDecodeError) as exc:
         raise CodecError(f"failed to decode message: {exc}") from exc
 
 
+#: Bytes of frame header: 4-byte length + 4-byte CRC-32 of the body.
+FRAME_HEADER_BYTES = 8
+
+
 def encode_frame(msg: Message) -> bytes:
-    """Serialize with a 4-byte length prefix for stream transports."""
+    """Serialize with a length + CRC-32 header for stream transports."""
     body = encode_message(msg)
     if len(body) > _MAX_FRAME:
         raise CodecError(f"frame too large: {len(body)} bytes")
-    return len(body).to_bytes(4, "big") + body
+    checksum = zlib.crc32(body) & 0xFFFFFFFF
+    return len(body).to_bytes(4, "big") + checksum.to_bytes(4, "big") + body
 
 
-def decode_frames(buffer: bytearray) -> list[Message]:
-    """Pull every complete frame out of ``buffer`` (consumed in place)."""
+def decode_frames(
+    buffer: bytearray,
+    on_corrupt: Callable[[CodecError], None] | None = None,
+) -> list[Message]:
+    """Pull every complete frame out of ``buffer`` (consumed in place).
+
+    A frame whose CRC-32 does not match its body raises
+    :class:`CodecError` — unless ``on_corrupt`` is given, in which case
+    the bad frame is skipped (already consumed), the callback is invoked,
+    and decoding continues with the next frame.  Transports pass a
+    callback so one corrupted frame costs one message, not the
+    connection.
+    """
     messages = []
     while len(buffer) >= 4:
         length = int.from_bytes(buffer[:4], "big")
         if length > _MAX_FRAME:
             raise CodecError(f"frame length {length} exceeds limit")
-        if len(buffer) < 4 + length:
+        if len(buffer) < FRAME_HEADER_BYTES + length:
             break
-        body = bytes(buffer[4 : 4 + length])
-        del buffer[: 4 + length]
+        expected_crc = int.from_bytes(buffer[4:8], "big")
+        body = bytes(buffer[FRAME_HEADER_BYTES : FRAME_HEADER_BYTES + length])
+        del buffer[: FRAME_HEADER_BYTES + length]
+        actual_crc = zlib.crc32(body) & 0xFFFFFFFF
+        if actual_crc != expected_crc:
+            error = CodecError(
+                f"frame checksum mismatch: expected {expected_crc:#010x}, "
+                f"got {actual_crc:#010x}"
+            )
+            if on_corrupt is None:
+                raise error
+            on_corrupt(error)
+            continue
         messages.append(decode_message(body))
     return messages
 

@@ -40,6 +40,11 @@ class Message:
         ``None`` on transports without a virtual clock.
     size_bytes:
         Encoded size, stamped by the transport for cost accounting.
+    msg_id:
+        At-least-once delivery id (``"<sender>#<n>"``), assigned by a
+        reliable transport on first send and preserved verbatim across
+        retransmissions so receivers can deduplicate.  ``None`` on
+        unreliable (single-shot) transports.
     """
 
     src: NodeId
@@ -50,6 +55,7 @@ class Message:
     sent_at: float | None = None
     delivered_at: float | None = None
     size_bytes: int = 0
+    msg_id: str | None = None
 
     def reply(self, kind: str, payload: Any = None) -> "Message":
         """Construct a response addressed back to this message's sender."""

@@ -7,28 +7,58 @@ the same ``handler(msg, transport)`` signature the simulator uses — so any
 protocol written for :class:`~repro.net.simnet.SimNetwork` runs unmodified
 over TCP (the integration tests do exactly that).
 
+Resilience hooks (see ``docs/resilience.md``):
+
+* connect/receive timeouts are configurable per node (and via the
+  ``REPRO_TCP_CONNECT_TIMEOUT`` / ``REPRO_TCP_RECV_TIMEOUT`` env vars)
+  instead of hard-coded; a blocking :meth:`TcpNode.receive` can also be
+  clamped by a propagated :class:`~repro.resilience.Deadline` and raises
+  the typed :class:`~repro.errors.TransportTimeout`;
+* frames carry a CRC-32 (see :mod:`repro.net.codec`); a corrupted frame is
+  counted and dropped instead of killing the connection;
+* messages stamped with a ``msg_id`` (retransmissions from a reliability
+  layer) are deduplicated per incoming link before dispatch.
+
 A :class:`TcpCluster` convenience spins up N nodes on ephemeral ports and
 wires a shared address book.
 """
 
 from __future__ import annotations
 
+import os
 import queue
 import socket
 import threading
 from typing import Callable
 
-from repro.errors import NodeUnreachableError, TransportClosedError
-from repro.net.codec import decode_frames, encode_frame
+from repro.errors import NodeUnreachableError, TransportClosedError, TransportTimeout
+from repro.net.codec import FRAME_HEADER_BYTES, decode_frames, encode_frame
 from repro.net.message import Message, NodeId
 from repro.net.stats import NetworkStats
 from repro.obs.tracer import NOOP_TRACER
+from repro.resilience.delivery import DedupWindow
+from repro.resilience.policy import Deadline
 
 __all__ = ["TcpNode", "TcpCluster"]
 
 Handler = Callable[[Message, "TcpNode"], None]
 
 _RECV_CHUNK = 65536
+
+#: Fallback time budgets, overridable per node or via environment.
+DEFAULT_CONNECT_TIMEOUT = 10.0
+DEFAULT_RECV_TIMEOUT = 10.0
+
+
+def _env_timeout(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
 
 
 class TcpNode:
@@ -40,6 +70,8 @@ class TcpNode:
         handler: Handler | None = None,
         tracer=None,
         metrics=None,
+        connect_timeout: float | None = None,
+        recv_timeout: float | None = None,
     ) -> None:
         self.node_id = node_id
         self.stats = NetworkStats()
@@ -50,6 +82,20 @@ class TcpNode:
         self.tracer = tracer or NOOP_TRACER
         if metrics is not None:
             self.stats.attach_metrics(metrics)
+        self.connect_timeout = (
+            connect_timeout
+            if connect_timeout is not None
+            else _env_timeout("REPRO_TCP_CONNECT_TIMEOUT", DEFAULT_CONNECT_TIMEOUT)
+        )
+        self.recv_timeout = (
+            recv_timeout
+            if recv_timeout is not None
+            else _env_timeout("REPRO_TCP_RECV_TIMEOUT", DEFAULT_RECV_TIMEOUT)
+        )
+        self.corrupt_frames = 0
+        self.duplicates_dropped = 0
+        self._dedup = DedupWindow()
+        self._dedup_lock = threading.Lock()
         self._handler = handler
         self._address_book: dict[NodeId, tuple[str, int]] = {}
         self._outbound: dict[NodeId, socket.socket] = {}
@@ -81,7 +127,15 @@ class TcpNode:
     # -- sending ----------------------------------------------------------
 
     def _connect(self, dst: NodeId) -> socket.socket:
-        sock = socket.create_connection(self._address_book[dst], timeout=10.0)
+        try:
+            sock = socket.create_connection(
+                self._address_book[dst], timeout=self.connect_timeout
+            )
+        except (socket.timeout, TimeoutError) as exc:
+            raise TransportTimeout(
+                f"{self.node_id}: connect to {dst!r} exceeded "
+                f"{self.connect_timeout}s"
+            ) from exc
         # Frames are small and latency-sensitive; never let Nagle hold them.
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._outbound[dst] = sock
@@ -107,7 +161,7 @@ class TcpNode:
         if msg.dst not in self._address_book:
             raise NodeUnreachableError(f"unknown peer {msg.dst!r}")
         frame = encode_frame(msg)
-        msg.size_bytes = len(frame) - 4
+        msg.size_bytes = len(frame) - FRAME_HEADER_BYTES
         with self._outbound_lock:
             self._ship(msg.dst, frame)
         self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
@@ -138,7 +192,7 @@ class TcpNode:
             if msg.dst not in self._address_book:
                 raise NodeUnreachableError(f"unknown peer {msg.dst!r}")
             frame = encode_frame(msg)
-            msg.size_bytes = len(frame) - 4
+            msg.size_bytes = len(frame) - FRAME_HEADER_BYTES
             batches.setdefault(msg.dst, bytearray()).extend(frame)
         with self._outbound_lock:
             for dst, payload in batches.items():
@@ -175,6 +229,13 @@ class TcpNode:
                 daemon=True,
             ).start()
 
+    def _on_corrupt(self, error) -> None:
+        self.corrupt_frames += 1
+        if self.tracer.enabled:
+            self.tracer.add_event(
+                "net.corrupt_drop", {"node": self.node_id, "error": str(error)}
+            )
+
     def _reader_loop(self, conn: socket.socket) -> None:
         buffer = bytearray()
         with conn:
@@ -186,10 +247,21 @@ class TcpNode:
                 if not chunk:
                     return
                 buffer.extend(chunk)
-                for msg in decode_frames(buffer):
+                for msg in decode_frames(buffer, on_corrupt=self._on_corrupt):
                     self._dispatch(msg)
 
     def _dispatch(self, msg: Message) -> None:
+        if msg.msg_id is not None:
+            with self._dedup_lock:
+                duplicate = self._dedup.seen((msg.src, msg.dst), msg.msg_id)
+            if duplicate:
+                self.duplicates_dropped += 1
+                if self.tracer.enabled:
+                    self.tracer.add_event(
+                        "resilience.duplicate_dropped",
+                        {"node": self.node_id, "mid": msg.msg_id},
+                    )
+                return
         if self.tracer.enabled:
             with self.tracer.span(
                 "tcp.recv",
@@ -208,13 +280,25 @@ class TcpNode:
         else:
             self._inbox.put(msg)
 
-    def receive(self, timeout: float = 10.0) -> Message:
-        """Blocking receive for handler-less (pull-style) usage."""
+    def receive(
+        self, timeout: float | None = None, deadline: Deadline | None = None
+    ) -> Message:
+        """Blocking receive for handler-less (pull-style) usage.
+
+        Waits up to ``timeout`` (default: the node's ``recv_timeout``),
+        clamped by ``deadline`` when one is propagated from above.  Raises
+        :class:`TransportTimeout` when the budget expires — a typed,
+        retryable condition, distinct from :class:`TransportClosedError`.
+        """
+        budget = self.recv_timeout if timeout is None else timeout
+        if deadline is not None:
+            deadline.check(f"tcp.receive[{self.node_id}]")
+            budget = deadline.clamp(budget)
         try:
-            return self._inbox.get(timeout=timeout)
+            return self._inbox.get(timeout=budget)
         except queue.Empty as exc:
-            raise TransportClosedError(
-                f"{self.node_id}: no message within {timeout}s"
+            raise TransportTimeout(
+                f"{self.node_id}: no message within {budget}s"
             ) from exc
 
     # -- lifecycle ---------------------------------------------------------
@@ -245,9 +329,22 @@ class TcpNode:
 class TcpCluster:
     """Spin up ``node_ids`` on ephemeral localhost ports, fully meshed."""
 
-    def __init__(self, node_ids: list[NodeId], tracer=None, metrics=None) -> None:
+    def __init__(
+        self,
+        node_ids: list[NodeId],
+        tracer=None,
+        metrics=None,
+        connect_timeout: float | None = None,
+        recv_timeout: float | None = None,
+    ) -> None:
         self.nodes: dict[NodeId, TcpNode] = {
-            node_id: TcpNode(node_id, tracer=tracer, metrics=metrics)
+            node_id: TcpNode(
+                node_id,
+                tracer=tracer,
+                metrics=metrics,
+                connect_timeout=connect_timeout,
+                recv_timeout=recv_timeout,
+            )
             for node_id in node_ids
         }
         book = {node_id: node.address for node_id, node in self.nodes.items()}

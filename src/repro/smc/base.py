@@ -136,12 +136,21 @@ class SmcResult:
     ``values`` maps each authorized observer to the result it learned.
     Reading the result as an unauthorized party raises — mirroring the
     protocol property that only selected observers receive ``w``.
+
+    ``degraded`` is ``True`` when ring failover completed the run without
+    some participants; ``skipped`` names them.  A degraded answer is
+    *explicitly* partial — callers must treat the result as computed over
+    the surviving inputs only (the leakage ledger records the same fact).
+    ``failovers`` counts relaunches the supervisor needed.
     """
 
     protocol: str
     observers: frozenset[str]
     values: dict[str, Any] = field(default_factory=dict)
     rounds: int = 0
+    degraded: bool = False
+    skipped: tuple[str, ...] = ()
+    failovers: int = 0
 
     def value_for(self, observer: str) -> Any:
         if observer not in self.observers:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.errors import ConfigurationError, ProtocolAbortError, SmcError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
+from repro.resilience import Deadline, standby_id, supervise_ring
 from repro.smc.base import SmcContext, SmcResult, protocol_span
 from repro.smc.ranking import MonotoneBlinding
 
@@ -114,6 +115,47 @@ class _CompareParty:
         self.verdict = msg.payload["verdict"]
 
 
+def _supervise_ttp_pair(
+    ctx: SmcContext,
+    net: SimNetwork,
+    lid: str,
+    rid: str,
+    ttp_id: str,
+    build,
+    result_of,
+    deadline: Deadline | None,
+):
+    """Failover supervision for a two-party blind-TTP exchange.
+
+    ``build(ttp_node_id)`` registers the TTP + both parties and returns
+    the party map; ``result_of(party)`` extracts a party's verdict (or
+    ``None`` while missing).  An unreachable TTP fails over to a standby
+    id (:func:`~repro.resilience.standby_id`); the two input parties are
+    essential, so a dead one raises a typed
+    :class:`~repro.errors.RingFailoverError`.
+    """
+    box: dict = {}
+
+    def launch(alive: list[str], avoid: frozenset):
+        box.clear()
+        box.update(build(standby_id(ttp_id, avoid)))
+        for party in box.values():
+            party.start(net)
+
+        def collect():
+            if any(result_of(p) is None for p in box.values()):
+                return None
+            return {pid: result_of(p) for pid, p in box.items()}
+
+        return collect
+
+    return supervise_ring(
+        net, PROTOCOL, [lid, rid], launch,
+        essential=[lid, rid], min_parties=2,
+        deadline=deadline, ledger=ctx.leakage,
+    )
+
+
 def secure_compare(
     ctx: SmcContext,
     left: tuple[str, int],
@@ -122,11 +164,15 @@ def secure_compare(
     ttp_id: str = "ttp",
     net: SimNetwork | None = None,
     session: str = "cmp-0",
+    deadline: Deadline | None = None,
 ) -> SmcResult:
     """Blind-TTP trichotomy comparison of two private non-negative ints.
 
     Returns an :class:`SmcResult` whose per-observer value is one of
-    ``"lt" | "eq" | "gt"`` describing ``left ? right``.
+    ``"lt" | "eq" | "gt"`` describing ``left ? right``.  On a resilient
+    network an unreachable TTP fails over to a standby id; the two input
+    parties are essential (a dead one raises
+    :class:`~repro.errors.RingFailoverError`).
     """
     (lid, lval), (rid, rval) = left, right
     if lid == rid:
@@ -141,17 +187,35 @@ def secure_compare(
     with protocol_span(
         ctx, net, "smc.compare", {"session": session, "batch": 1}
     ):
-        ttp = _CompareTtp(ttp_id, ctx)
-        net.register(ttp_id, ttp.handle)
-        parties = {
-            lid: _CompareParty(lid, lval, ctx, blinding, ttp_id, session, lid),
-            rid: _CompareParty(rid, rval, ctx, blinding, ttp_id, session, lid),
-        }
-        for pid, party in parties.items():
-            net.register(pid, party.handle)
+        def build(ttp_node_id: str) -> dict[str, _CompareParty]:
+            ttp = _CompareTtp(ttp_node_id, ctx)
+            net.register(ttp_node_id, ttp.handle)
+            parties = {
+                lid: _CompareParty(lid, lval, ctx, blinding, ttp_node_id, session, lid),
+                rid: _CompareParty(rid, rval, ctx, blinding, ttp_node_id, session, lid),
+            }
+            for pid, party in parties.items():
+                net.register(pid, party.handle)
+            return parties
+
+        if net.reliable:
+            outcome = _supervise_ttp_pair(
+                ctx, net, lid, rid, ttp_id, build,
+                lambda party: party.verdict, deadline,
+            )
+            return SmcResult(
+                protocol=PROTOCOL,
+                observers=frozenset([lid, rid]),
+                values=outcome.values,
+                rounds=2,
+                degraded=outcome.degraded,
+                skipped=outcome.skipped,
+                failovers=outcome.failovers,
+            )
+        parties = build(ttp_id)
         for party in parties.values():
             party.start(net)
-        net.run()
+        net.run(deadline=deadline)
 
     values = {}
     for pid, party in parties.items():
@@ -257,6 +321,7 @@ def secure_compare_batch(
     ttp_id: str = "ttp",
     net: SimNetwork | None = None,
     session: str = "cmpb-0",
+    deadline: Deadline | None = None,
 ) -> SmcResult:
     """Compare aligned vectors of private values in ONE round trip each.
 
@@ -287,17 +352,39 @@ def secure_compare_batch(
     with protocol_span(
         ctx, net, "smc.compare", {"session": session, "batch": len(lvals)}
     ):
-        ttp = _BatchCompareTtp(ttp_id, ctx)
-        net.register(ttp_id, ttp.handle)
-        parties = {
-            lid: _BatchCompareParty(lid, lvals, ctx, blinding, ttp_id, session, lid),
-            rid: _BatchCompareParty(rid, rvals, ctx, blinding, ttp_id, session, lid),
-        }
-        for pid, party in parties.items():
-            net.register(pid, party.handle)
+        def build(ttp_node_id: str) -> dict[str, _BatchCompareParty]:
+            ttp = _BatchCompareTtp(ttp_node_id, ctx)
+            net.register(ttp_node_id, ttp.handle)
+            parties = {
+                lid: _BatchCompareParty(
+                    lid, lvals, ctx, blinding, ttp_node_id, session, lid
+                ),
+                rid: _BatchCompareParty(
+                    rid, rvals, ctx, blinding, ttp_node_id, session, lid
+                ),
+            }
+            for pid, party in parties.items():
+                net.register(pid, party.handle)
+            return parties
+
+        if net.reliable:
+            outcome = _supervise_ttp_pair(
+                ctx, net, lid, rid, ttp_id, build,
+                lambda party: party.verdicts, deadline,
+            )
+            return SmcResult(
+                protocol=PROTOCOL,
+                observers=frozenset([lid, rid]),
+                values=outcome.values,
+                rounds=2,
+                degraded=outcome.degraded,
+                skipped=outcome.skipped,
+                failovers=outcome.failovers,
+            )
+        parties = build(ttp_id)
         for party in parties.values():
             party.start(net)
-        net.run()
+        net.run(deadline=deadline)
 
     values = {}
     for pid, party in parties.items():

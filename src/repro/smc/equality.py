@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError, ProtocolAbortError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
+from repro.resilience import Deadline, standby_id, supervise_ring
 from repro.smc.base import SmcContext, SmcResult, protocol_span
 from repro.smc.intersection import secure_set_intersection
 
@@ -162,10 +163,15 @@ def secure_equality(
     ttp_id: str = "ttp",
     net: SimNetwork | None = None,
     session: str = "eq-0",
+    deadline: Deadline | None = None,
 ) -> SmcResult:
     """Randomized-mapping equality between two (party, value) pairs.
 
-    Both parties learn the verdict; the TTP learns only the verdict.
+    Both parties learn the verdict; the TTP learns only the verdict.  On a
+    resilient network an unreachable TTP fails over to a standby id
+    (``"ttp~1"``, ...); the two input parties are essential, so a dead
+    party aborts with a typed :class:`~repro.errors.RingFailoverError`
+    rather than a silent partial answer.
     """
     (lid, lval), (rid, rval) = left, right
     if lid == rid:
@@ -181,17 +187,57 @@ def secure_equality(
             ctx, f"{min(lid, rid)}|{max(lid, rid)}|{session}"
         )
         reply_to = [lid, rid]
-        ttp = BlindTtp(ttp_id, ctx)
-        parties = {
-            lid: EqualityParty(lid, lval, ctx, blinding, ttp_id, session, reply_to),
-            rid: EqualityParty(rid, rval, ctx, blinding, ttp_id, session, reply_to),
-        }
-        net.register(ttp_id, ttp.handle)
-        for pid, party in parties.items():
-            net.register(pid, party.handle)
+
+        def build(ttp_node_id: str) -> dict[str, EqualityParty]:
+            ttp = BlindTtp(ttp_node_id, ctx)
+            parties = {
+                lid: EqualityParty(
+                    lid, lval, ctx, blinding, ttp_node_id, session, reply_to
+                ),
+                rid: EqualityParty(
+                    rid, rval, ctx, blinding, ttp_node_id, session, reply_to
+                ),
+            }
+            net.register(ttp_node_id, ttp.handle)
+            for pid, party in parties.items():
+                net.register(pid, party.handle)
+            return parties
+
+        if net.reliable:
+            box: dict[str, EqualityParty] = {}
+
+            def launch(alive: list[str], avoid: frozenset):
+                box.clear()
+                box.update(build(standby_id(ttp_id, avoid)))
+                for party in box.values():
+                    party.start(net)
+
+                def collect():
+                    if any(p.verdict is None for p in box.values()):
+                        return None
+                    return {pid: p.verdict for pid, p in box.items()}
+
+                return collect
+
+            outcome = supervise_ring(
+                net, PROTOCOL, [lid, rid], launch,
+                essential=[lid, rid], min_parties=2,
+                deadline=deadline, ledger=ctx.leakage,
+            )
+            return SmcResult(
+                protocol=PROTOCOL,
+                observers=frozenset([lid, rid]),
+                values=outcome.values,
+                rounds=2,
+                degraded=outcome.degraded,
+                skipped=outcome.skipped,
+                failovers=outcome.failovers,
+            )
+
+        parties = build(ttp_id)
         for party in parties.values():
             party.start(net)
-        net.run()
+        net.run(deadline=deadline)
 
     values = {}
     for pid, party in parties.items():

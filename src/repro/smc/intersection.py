@@ -42,9 +42,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.pohlig_hellman import PohligHellmanCipher
-from repro.errors import ConfigurationError, ProtocolAbortError
+from repro.errors import ConfigurationError, ProtocolAbortError, RingFailoverError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
+from repro.resilience import Deadline, pick_coordinator, ring_avoiding, supervise_ring
 from repro.smc.base import SmcContext, SmcResult, protocol_span
 
 __all__ = ["IntersectionParty", "secure_set_intersection", "fig4_walkthrough"]
@@ -393,6 +394,7 @@ def secure_set_intersection(
     collector: str | None = None,
     ring: list[str] | None = None,
     coalesce: bool = False,
+    deadline: Deadline | None = None,
 ) -> SmcResult:
     """Run the full protocol on a simulated network and return the result.
 
@@ -422,6 +424,14 @@ def secure_set_intersection(
         in-flight set) instead of the pipelined per-set relays.  Same
         results, modexp counts and leakage at ~2n+1 frames instead of n².
         See the module docstring for the latency trade-off.
+    deadline:
+        Optional wall-clock :class:`~repro.resilience.Deadline` bounding
+        the run (propagated from the audit service).
+
+    On a resilient network (``SimNetwork(resilience=RetryPolicy(...))``)
+    the run is supervised: a dead or partitioned hop is re-routed around
+    (new ring order / new collector), or the node is excluded and the
+    result returned with ``degraded=True`` and its id in ``skipped``.
     """
     if len(sets) < 1:
         raise ConfigurationError("intersection needs at least one party")
@@ -447,6 +457,20 @@ def secure_set_intersection(
             "coalesce": coalesce,
         },
     ):
+        if net.reliable:
+            outcome = _run_supervised(
+                ctx, net, sets, parties, observers, collector,
+                shuffle=shuffle, ring=ring, coalesce=coalesce, deadline=deadline,
+            )
+            return SmcResult(
+                protocol=PROTOCOL,
+                observers=frozenset(outcome.values),
+                values=outcome.values,
+                rounds=len(parties),
+                degraded=outcome.degraded,
+                skipped=outcome.skipped,
+                failovers=outcome.failovers,
+            )
         nodes = {
             pid: IntersectionParty(
                 pid, sets[pid], ctx, parties, observers, collector,
@@ -461,7 +485,7 @@ def secure_set_intersection(
         else:
             for node in nodes.values():
                 node.start(net)
-        net.run()
+        net.run(deadline=deadline)
 
     values = {}
     for obs in observers:
@@ -474,6 +498,67 @@ def secure_set_intersection(
         observers=frozenset(observers),
         values=values,
         rounds=len(parties),
+    )
+
+
+def _run_supervised(
+    ctx: SmcContext,
+    net: SimNetwork,
+    sets: dict[str, list],
+    parties: list[str],
+    observers: list[str],
+    collector: str,
+    *,
+    shuffle: bool,
+    ring: list[str] | None,
+    coalesce: bool,
+    deadline: Deadline | None,
+):
+    """Failover-supervised intersection: re-route or exclude dead hops."""
+    nodes: dict[str, IntersectionParty] = {}
+
+    def launch(alive: list[str], avoid: frozenset):
+        obs_alive = [o for o in observers if o in alive]
+        if not obs_alive:
+            raise RingFailoverError(
+                f"{PROTOCOL}: every authorized observer is unreachable"
+            )
+        candidates = sorted(set(obs_alive) | ({collector} & set(alive)))
+        coll = pick_coordinator(candidates, avoid, default=collector)
+        prefer = [p for p in (ring or sorted(alive)) if p in alive]
+        ring_order = ring_avoiding(alive, avoid, prefer=prefer)
+        nodes.clear()
+        nodes.update(
+            {
+                pid: IntersectionParty(
+                    pid, sets[pid], ctx, alive, obs_alive, coll,
+                    shuffle=shuffle, ring=ring_order,
+                )
+                for pid in alive
+            }
+        )
+        for pid, node in nodes.items():
+            net.register(pid, node.handle)
+        if coalesce:
+            nodes[coll].start_convoy(net)
+        else:
+            for node in nodes.values():
+                node.start(net)
+
+        def collect():
+            values = {}
+            for obs in obs_alive:
+                result = nodes[obs].state.result
+                if result is None:
+                    return None
+                values[obs] = result
+            return values
+
+        return collect
+
+    return supervise_ring(
+        net, PROTOCOL, parties, launch,
+        min_parties=1, deadline=deadline, ledger=ctx.leakage,
     )
 
 

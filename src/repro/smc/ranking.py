@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError, ProtocolAbortError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
+from repro.resilience import Deadline, standby_id, supervise_ring
 from repro.smc.base import SmcContext, SmcResult, protocol_span
 
 __all__ = ["MonotoneBlinding", "RankingTtp", "RankingParty", "secure_ranking"]
@@ -164,6 +165,7 @@ def secure_ranking(
     net: SimNetwork | None = None,
     rank_only_noise: bool = False,
     group_label: str = "rank-0",
+    deadline: Deadline | None = None,
 ) -> SmcResult:
     """Run Maxₛ / Minₛ / Rankₛ in one round through a blind TTP.
 
@@ -173,6 +175,11 @@ def secure_ranking(
     ``rank_only_noise`` adds sub-slope jitter so the TTP's scaled-gap
     leakage is perturbed; ordering of *distinct* values is unaffected, but
     equal values may order arbitrarily (they already tie-break by id).
+
+    On a resilient network an unreachable TTP fails over to a standby id,
+    and an unreachable party is excluded: survivors learn ranks over the
+    reduced group, the result is ``degraded=True`` and names the skipped
+    party — never a silent ranking that pretends everyone participated.
     """
     if len(values) < 2:
         raise ConfigurationError("ranking needs at least two parties")
@@ -188,17 +195,52 @@ def secure_ranking(
         "smc.ranking",
         {"parties": len(values), "rank_only_noise": rank_only_noise},
     ):
-        ttp = RankingTtp(ttp_id, ctx, expected=len(values))
-        net.register(ttp_id, ttp.handle)
-        parties = {
-            pid: RankingParty(pid, val, ctx, blinding, ttp_id, rank_only_noise)
-            for pid, val in values.items()
-        }
-        for pid, party in parties.items():
-            net.register(pid, party.handle)
+        def build(alive: list[str], ttp_node_id: str) -> dict[str, RankingParty]:
+            ttp = RankingTtp(ttp_node_id, ctx, expected=len(alive))
+            net.register(ttp_node_id, ttp.handle)
+            parties = {
+                pid: RankingParty(
+                    pid, values[pid], ctx, blinding, ttp_node_id, rank_only_noise
+                )
+                for pid in alive
+            }
+            for pid, party in parties.items():
+                net.register(pid, party.handle)
+            return parties
+
+        if net.reliable:
+            box: dict[str, RankingParty] = {}
+
+            def launch(alive: list[str], avoid: frozenset):
+                box.clear()
+                box.update(build(alive, standby_id(ttp_id, avoid)))
+                for party in box.values():
+                    party.start(net)
+
+                def collect():
+                    if any(p.verdict is None for p in box.values()):
+                        return None
+                    return {pid: p.verdict for pid, p in box.items()}
+
+                return collect
+
+            outcome = supervise_ring(
+                net, PROTOCOL, sorted(values), launch,
+                min_parties=2, deadline=deadline, ledger=ctx.leakage,
+            )
+            return SmcResult(
+                protocol=PROTOCOL,
+                observers=frozenset(outcome.values),
+                values=outcome.values,
+                rounds=2,
+                degraded=outcome.degraded,
+                skipped=outcome.skipped,
+                failovers=outcome.failovers,
+            )
+        parties = build(sorted(values), ttp_id)
         for party in parties.values():
             party.start(net)
-        net.run()
+        net.run(deadline=deadline)
 
     out = {}
     for pid, party in parties.items():

@@ -24,9 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.shamir import ShamirScheme
-from repro.errors import ConfigurationError, ProtocolAbortError
+from repro.errors import ConfigurationError, ProtocolAbortError, RingFailoverError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
+from repro.resilience import Deadline, supervise_ring
 from repro.smc.base import SmcContext, SmcResult, protocol_span
 
 __all__ = ["SumParty", "secure_sum", "secure_weighted_sum"]
@@ -146,6 +147,7 @@ def _run_sum(
     k: int | None,
     net: SimNetwork | None,
     field_prime: int | None,
+    deadline: Deadline | None = None,
 ) -> SmcResult:
     if not values:
         raise ConfigurationError("secure sum needs at least one party")
@@ -165,10 +167,25 @@ def _run_sum(
 
         bound = sum(abs(weights[p]) * values[p] for p in parties) + n + 1
         field_prime = prime_above(max(bound, 2 * n + 3))
-    scheme = ShamirScheme(k=k, n=n, p=field_prime)
 
     net = net or SimNetwork(tracer=ctx.tracer)
-    weight_list = [weights[p] % field_prime for p in parties]
+
+    def build(alive: list[str]) -> dict[str, SumParty]:
+        """Construct the party objects over the (possibly reduced) cluster."""
+        scheme = ShamirScheme(
+            k=min(k, len(alive)), n=len(alive), p=field_prime
+        )
+        obs_alive = [o for o in observers if o in alive]
+        weight_list = [weights[p] % field_prime for p in alive]
+        nodes = {}
+        for pid in alive:
+            node = SumParty(
+                pid, values[pid], weights[pid], ctx, alive, obs_alive, scheme
+            )
+            node._all_weights = weight_list
+            nodes[pid] = node
+        return nodes
+
     with protocol_span(
         ctx,
         net,
@@ -179,18 +196,52 @@ def _run_sum(
             PROTOCOL, "*", "value_bound",
             f"field modulus {field_prime} bounds the (weighted) sum a priori",
         )
-        nodes = {}
-        for pid in parties:
-            node = SumParty(
-                pid, values[pid], weights[pid], ctx, parties, observers, scheme
+        if net.reliable:
+            nodes_box: dict[str, SumParty] = {}
+
+            def launch(alive: list[str], avoid: frozenset):
+                obs_alive = [o for o in observers if o in alive]
+                if not obs_alive:
+                    raise RingFailoverError(
+                        f"{PROTOCOL}: every authorized observer is unreachable"
+                    )
+                nodes_box.clear()
+                nodes_box.update(build(alive))
+                for pid, node in nodes_box.items():
+                    net.register(pid, node.handle)
+                for node in nodes_box.values():
+                    node.start(net)
+
+                def collect():
+                    out = {}
+                    for obs in obs_alive:
+                        result = nodes_box[obs].state.result
+                        if result is None:
+                            return None
+                        out[obs] = result
+                    return out
+
+                return collect
+
+            outcome = supervise_ring(
+                net, PROTOCOL, parties, launch,
+                min_parties=1, deadline=deadline, ledger=ctx.leakage,
             )
-            node._all_weights = weight_list
-            nodes[pid] = node
+            return SmcResult(
+                protocol=PROTOCOL,
+                observers=frozenset(outcome.values),
+                values=outcome.values,
+                rounds=2,
+                degraded=outcome.degraded,
+                skipped=outcome.skipped,
+                failovers=outcome.failovers,
+            )
+        nodes = build(parties)
         for pid, node in nodes.items():
             net.register(pid, node.handle)
         for node in nodes.values():
             node.start(net)
-        net.run()
+        net.run(deadline=deadline)
 
     out = {}
     for obs in observers:
@@ -210,14 +261,17 @@ def secure_sum(
     k: int | None = None,
     net: SimNetwork | None = None,
     field_prime: int | None = None,
+    deadline: Deadline | None = None,
 ) -> SmcResult:
     """Compute ``Σ values[p]`` with per-party privacy.
 
     ``k`` is the reconstruction threshold (defaults to n — every node's
     F-share needed).  ``field_prime`` defaults to a prime safely above the
-    maximum possible sum.
+    maximum possible sum.  On a resilient network the run is supervised:
+    unreachable parties are excluded and the (partial) sum comes back with
+    ``degraded=True`` and the skipped ids listed.
     """
-    return _run_sum(ctx, values, None, observers, k, net, field_prime)
+    return _run_sum(ctx, values, None, observers, k, net, field_prime, deadline)
 
 
 def secure_weighted_sum(
@@ -228,6 +282,7 @@ def secure_weighted_sum(
     k: int | None = None,
     net: SimNetwork | None = None,
     field_prime: int | None = None,
+    deadline: Deadline | None = None,
 ) -> SmcResult:
     """Compute ``Σ weights[p] · values[p]`` for public weights."""
-    return _run_sum(ctx, values, weights, observers, k, net, field_prime)
+    return _run_sum(ctx, values, weights, observers, k, net, field_prime, deadline)

@@ -22,10 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.pohlig_hellman import PohligHellmanCipher
-from repro.errors import ConfigurationError, ProtocolAbortError
+from repro.errors import ConfigurationError, ProtocolAbortError, RingFailoverError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
 from repro.net.topology import next_on_ring
+from repro.resilience import Deadline, pick_coordinator, ring_avoiding, supervise_ring
 from repro.smc.base import SmcContext, SmcResult, protocol_span
 
 __all__ = ["UnionParty", "secure_set_union"]
@@ -51,10 +52,14 @@ class UnionParty:
         parties: list[str],
         observers: list[str],
         collector: str,
+        ring: list[str] | None = None,
     ) -> None:
         self.party_id = party_id
         self.ctx = ctx
         self.parties = sorted(parties)
+        if ring is not None and sorted(ring) != self.parties:
+            raise ConfigurationError("ring must be a permutation of the parties")
+        self.ring = list(ring) if ring is not None else list(self.parties)
         self.observers = sorted(observers)
         self.collector = collector
         self._rng = ctx.party_rng(party_id)
@@ -93,7 +98,7 @@ class UnionParty:
         transport.send(
             Message(
                 src=self.party_id,
-                dst=next_on_ring(self.parties, self.party_id),
+                dst=next_on_ring(self.ring, self.party_id),
                 kind="ssu.relay",
                 payload={"hops": hops, "elements": elements},
             )
@@ -149,10 +154,13 @@ class UnionParty:
         with transport.stats.time_stage("ssu.decrypt"):
             decrypted = self.cipher.decrypt_set(unique, engine=self.ctx.engine)
         self.ctx.count_modexp(self.party_id, len(decrypted))
-        self._send_decrypt(
-            transport, decrypted,
-            remaining=[p for p in self.parties if p != self.party_id],
-        )
+        # Decrypt around the ring starting after ourselves, so a re-routed
+        # ring order steers the decrypt chain clear of avoided links too.
+        pos = self.ring.index(self.party_id)
+        remaining = [
+            self.ring[(pos + i) % len(self.ring)] for i in range(1, len(self.ring))
+        ]
+        self._send_decrypt(transport, decrypted, remaining=remaining)
 
     def _send_decrypt(self, transport, elements: list[int], remaining: list[str]) -> None:
         if remaining:
@@ -186,11 +194,15 @@ def secure_set_union(
     observers: list[str] | None = None,
     net: SimNetwork | None = None,
     collector: str | None = None,
+    ring: list[str] | None = None,
+    deadline: Deadline | None = None,
 ) -> SmcResult:
     """Run secure union over integer sets on a simulated network.
 
     See module docstring; interface mirrors
-    :func:`repro.smc.intersection.secure_set_intersection`.
+    :func:`repro.smc.intersection.secure_set_intersection`, including
+    failover supervision on a resilient network (re-route or exclude, with
+    ``degraded``/``skipped`` set on the result).
     """
     if not sets:
         raise ConfigurationError("union needs at least one party")
@@ -212,15 +224,68 @@ def secure_set_union(
             "engine": ctx.engine.name,
         },
     ):
+        if net.reliable:
+            nodes_box: dict[str, UnionParty] = {}
+
+            def launch(alive: list[str], avoid: frozenset):
+                obs_alive = [o for o in observers if o in alive]
+                if not obs_alive:
+                    raise RingFailoverError(
+                        f"{PROTOCOL}: every authorized observer is unreachable"
+                    )
+                candidates = sorted(set(obs_alive) | ({collector} & set(alive)))
+                coll = pick_coordinator(candidates, avoid, default=collector)
+                prefer = [p for p in (ring or sorted(alive)) if p in alive]
+                ring_order = ring_avoiding(alive, avoid, prefer=prefer)
+                nodes_box.clear()
+                nodes_box.update(
+                    {
+                        pid: UnionParty(
+                            pid, sets[pid], ctx, alive, obs_alive, coll,
+                            ring=ring_order,
+                        )
+                        for pid in alive
+                    }
+                )
+                for pid, node in nodes_box.items():
+                    net.register(pid, node.handle)
+                for node in nodes_box.values():
+                    node.start(net)
+
+                def collect():
+                    out = {}
+                    for obs in obs_alive:
+                        result = nodes_box[obs].state.result
+                        if result is None:
+                            return None
+                        out[obs] = result
+                    return out
+
+                return collect
+
+            outcome = supervise_ring(
+                net, PROTOCOL, parties, launch,
+                min_parties=1, deadline=deadline, ledger=ctx.leakage,
+            )
+            return SmcResult(
+                protocol=PROTOCOL,
+                observers=frozenset(outcome.values),
+                values=outcome.values,
+                rounds=len(parties),
+                degraded=outcome.degraded,
+                skipped=outcome.skipped,
+                failovers=outcome.failovers,
+            )
         nodes = {
-            pid: UnionParty(pid, sets[pid], ctx, parties, observers, collector)
+            pid: UnionParty(pid, sets[pid], ctx, parties, observers, collector,
+                            ring=ring)
             for pid in parties
         }
         for pid, node in nodes.items():
             net.register(pid, node.handle)
         for node in nodes.values():
             node.start(net)
-        net.run()
+        net.run(deadline=deadline)
 
     values = {}
     for obs in observers:

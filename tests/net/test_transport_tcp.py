@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.errors import NodeUnreachableError, TransportClosedError
+from repro.errors import NodeUnreachableError, TransportClosedError, TransportTimeout
 from repro.net.message import Message
 from repro.net.transport_tcp import TcpCluster, TcpNode
 
@@ -78,7 +78,7 @@ class TestTcpNode:
 
     def test_receive_timeout(self):
         with TcpCluster(["A"]) as cluster:
-            with pytest.raises(TransportClosedError):
+            with pytest.raises(TransportTimeout):
                 cluster["A"].receive(timeout=0.2)
 
     def test_stats_counted(self):

@@ -1,0 +1,103 @@
+"""FaultPlan partitions healing mid-protocol (ISSUE satellite).
+
+Covers the lifecycle the chaos matrix exercises statistically, as exact
+scenarios: a partition appears, a round runs (failover routes around it
+or degrades), the partition heals, and the next round recovers full
+participation.
+"""
+
+from repro.crypto.rng import DeterministicRng
+from repro.net.faults import FaultPlan
+from repro.net.message import Message
+from repro.net.simnet import SimNetwork
+from repro.resilience import RetryPolicy
+from repro.smc.intersection import secure_set_intersection
+from repro.smc.sum_ import secure_sum
+
+SETS = {"P0": ["a", "b"], "P1": ["b", "c"], "P2": ["b", "d"]}
+
+
+def reliable(faults: FaultPlan) -> SimNetwork:
+    return SimNetwork(resilience=RetryPolicy(), faults=faults)
+
+
+class TestHealMidProtocol:
+    def test_partition_heals_while_the_supervisor_retries(self, ctx):
+        """The partition exists for the first launch, then heals before
+        the supervisor's relaunch: the round completes with everyone —
+        failover happened, degradation did not."""
+        faults = FaultPlan()
+        faults.partition("P0", "P1")
+        net = reliable(faults)
+        relaunches = []
+
+        original_reset = net.reset_failures
+
+        def reset_and_heal():
+            # Heal right after the supervisor diagnoses the first failure:
+            # models a transient partition shorter than the failover.
+            if relaunches:
+                faults.heal_all()
+            relaunches.append(True)
+            original_reset()
+
+        net.reset_failures = reset_and_heal
+        result = secure_set_intersection(ctx, SETS, net=net)
+        assert result.any_value == ["b"]
+        assert not result.degraded
+        assert len(relaunches) >= 2  # at least one failover happened
+
+    def test_round_then_heal_then_round(self, ctx):
+        """Partition → round (survives via failover) → heal → round
+        (fully recovered, zero failovers)."""
+        faults = FaultPlan()
+        faults.partition("P1", "P2")
+
+        first = secure_set_intersection(ctx, SETS, net=reliable(faults))
+        assert first.any_value == ["b"]
+        assert first.failovers >= 1  # had to work around the partition
+
+        faults.heal("P1", "P2")
+        second = secure_set_intersection(ctx, SETS, net=reliable(faults))
+        assert second.any_value == ["b"]
+        assert second.failovers == 0
+        assert not second.degraded
+
+    def test_degraded_round_then_heal_then_full_round(self, ctx):
+        """A crashed node degrades the round; after recovery the same
+        query is answered over the full membership again."""
+        faults = FaultPlan()
+        faults.crash("P2")
+        values = {"P0": 10, "P1": 20, "P2": 30}
+
+        first = secure_sum(ctx, values, net=reliable(faults))
+        assert first.degraded and first.skipped == ("P2",)
+        assert first.any_value == 30  # survivors' sum
+
+        faults.recover("P2")
+        second = secure_sum(ctx, values, net=reliable(faults))
+        assert not second.degraded
+        assert second.any_value == 60
+
+    def test_partition_is_directional_pairwise_only(self, ctx):
+        """Partitioning one pair must not affect other links: messages
+        between unaffected nodes flow with zero retries."""
+        faults = FaultPlan()
+        faults.partition("P0", "P1")
+        net = reliable(faults)
+        inbox = []
+        net.register("P2", lambda m, _n: inbox.append(m))
+        net.register("P0", lambda m, _n: None)
+        net.send(Message(src="P0", dst="P2", kind="x", payload={}))
+        net.run()
+        assert len(inbox) == 1
+        assert net.resilience_stats["retries"] == 0
+
+    def test_heal_all_restores_every_link(self, ctx):
+        faults = FaultPlan(rng=DeterministicRng(b"ha"))
+        faults.partition("P0", "P1")
+        faults.partition("P1", "P2")
+        faults.heal_all()
+        result = secure_set_intersection(ctx, SETS, net=reliable(faults))
+        assert result.any_value == ["b"]
+        assert result.failovers == 0

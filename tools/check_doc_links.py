@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Stdlib only (the CI image installs nothing for docs).  Checks every
+inline link ``[text](target)`` in the documentation set:
+
+* **relative targets** must exist on disk (resolved against the linking
+  file's directory; a trailing ``#anchor`` must match a heading of the
+  target markdown file, GitHub slug rules);
+* **absolute URLs** are validated syntactically only (scheme + host) —
+  CI must not depend on third-party servers being up;
+* bare intra-file anchors (``#section``) must match a local heading.
+
+Exit status is the number of broken links (0 = clean).
+
+Usage::
+
+    python tools/check_doc_links.py [files...]   # default: the doc set
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from urllib.parse import urlparse
+
+REPO = Path(__file__).resolve().parents[1]
+
+DEFAULT_DOC_SET = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    *sorted(str(p.relative_to(REPO)) for p in (REPO / "docs").glob("*.md")),
+]
+
+# [text](target) — target must not contain spaces or nested parens.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces → dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    body = path.read_text(encoding="utf-8")
+    body = _FENCE.sub("", body)  # headings inside code fences don't anchor
+    return {github_slug(h) for h in _HEADING.findall(body)}
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    body = path.read_text(encoding="utf-8")
+    searchable = _FENCE.sub("", body)  # links inside code fences are examples
+    for match in _LINK.finditer(searchable):
+        target = match.group(1)
+        parsed = urlparse(target)
+        if parsed.scheme in ("http", "https"):
+            if not parsed.netloc:
+                problems.append(f"{path}: malformed URL {target!r}")
+            continue
+        if parsed.scheme:  # mailto:, etc. — nothing to verify on disk
+            continue
+        rel, _, anchor = target.partition("#")
+        dest = path if not rel else (path.parent / rel).resolve()
+        if not dest.exists():
+            problems.append(f"{path}: broken link {target!r} (no {dest})")
+            continue
+        if anchor:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                problems.append(
+                    f"{path}: anchor on non-markdown target {target!r}"
+                )
+            elif github_slug(anchor) not in anchors_of(dest):
+                problems.append(
+                    f"{path}: dead anchor {target!r} (no heading "
+                    f"#{anchor} in {dest.name})"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv] if argv else [
+        REPO / rel for rel in DEFAULT_DOC_SET
+    ]
+    problems: list[str] = []
+    checked_links = 0
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file in doc set does not exist")
+            continue
+        searchable = _FENCE.sub("", path.read_text(encoding="utf-8"))
+        checked_links += len(_LINK.findall(searchable))
+        problems.extend(check_file(path))
+    for line in problems:
+        print(f"BROKEN  {line}", file=sys.stderr)
+    print(
+        f"checked {checked_links} links across {len(files)} files: "
+        f"{len(problems)} broken"
+    )
+    return len(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Execute the documentation's runnable code examples.
+
+Docs rot fastest where they show code, so CI executes the fenced
+``python`` blocks that are written to be self-contained.  The allowlist
+below is *curated*: many blocks are intentionally elliptical (``...``
+placeholders, fragments referencing objects defined in prose) and can
+never run — listing a block here is a promise that it stays executable
+against the current API.
+
+Each allowlisted block runs in its own fresh namespace with ``src/`` on
+``sys.path``; an exception anywhere is a CI failure pointing at the doc
+file and block.
+
+Usage::
+
+    python tools/run_doc_examples.py          # run the allowlist
+    python tools/run_doc_examples.py --list   # show every python block
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+#: file (repo-relative) -> 0-based ordinals among that file's ```python blocks.
+ALLOWLIST: dict[str, list[int]] = {
+    "README.md": [0],               # Quickstart: full service round-trip
+    "docs/observability.md": [0,    # Tracer spans/events
+                              3],   # MetricsRegistry counters/histograms
+    "docs/resilience.md": [0,       # RetryPolicy / Deadline knobs
+                           1],      # failover: crash -> degraded result
+}
+
+_BLOCK = re.compile(r"^```python[^\n]*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def python_blocks(path: Path) -> list[str]:
+    return _BLOCK.findall(path.read_text(encoding="utf-8"))
+
+
+def main(argv: list[str]) -> int:
+    if "--list" in argv:
+        for rel in ["README.md", *sorted(
+            str(p.relative_to(REPO)) for p in (REPO / "docs").glob("*.md")
+        )]:
+            for i, block in enumerate(python_blocks(REPO / rel)):
+                mark = "RUN " if i in ALLOWLIST.get(rel, []) else "skip"
+                first = block.strip().splitlines()[0] if block.strip() else ""
+                print(f"{mark}  {rel}[{i}]  {first}")
+        return 0
+
+    failures = 0
+    ran = 0
+    for rel, ordinals in ALLOWLIST.items():
+        blocks = python_blocks(REPO / rel)
+        for i in ordinals:
+            if i >= len(blocks):
+                print(f"FAIL  {rel}[{i}]: block does not exist "
+                      f"({len(blocks)} python blocks found)", file=sys.stderr)
+                failures += 1
+                continue
+            ran += 1
+            try:
+                exec(compile(blocks[i], f"{rel}[{i}]", "exec"), {})
+                print(f"ok    {rel}[{i}]")
+            except Exception:
+                failures += 1
+                print(f"FAIL  {rel}[{i}]", file=sys.stderr)
+                traceback.print_exc()
+    print(f"ran {ran} documentation examples: {failures} failed")
+    return failures
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
