@@ -116,6 +116,9 @@ class QueryExecutor:
         schema: GlobalSchema,
         value_bound: int = 2**40,
         batch_compare: bool = True,
+        projection_cache=None,
+        scan_cache=None,
+        subplan_cache=None,
     ) -> None:
         self.store = store
         self.ctx = ctx
@@ -136,8 +139,22 @@ class QueryExecutor:
         # predicate scans.  Keys embed the owning store's epoch, so an
         # append/delete/tamper on one node invalidates exactly that
         # node's entries; REPRO_CACHE=off bypasses both caches entirely.
-        self._projection_cache = LruCache("query.projection", metrics=ctx.metrics)
-        self._scan_cache = LruCache("query.scan", metrics=ctx.metrics)
+        # The query scheduler injects shared single-flight caches here so
+        # concurrent queries coalesce identical work; any object with
+        # ``get_or_compute(key, compute)`` qualifies.
+        self._projection_cache = (
+            projection_cache
+            if projection_cache is not None
+            else LruCache("query.projection", metrics=ctx.metrics)
+        )
+        self._scan_cache = (
+            scan_cache
+            if scan_cache is not None
+            else LruCache("query.scan", metrics=ctx.metrics)
+        )
+        # Subplan coalescing is scheduler-only: serial executors keep it
+        # off (None) so single-query behaviour is byte-identical.
+        self._subplan_cache = subplan_cache
 
     # -- public API -----------------------------------------------------------
 
@@ -419,7 +436,54 @@ class QueryExecutor:
         net: SimNetwork,
         deadline: Deadline | None = None,
     ) -> tuple[str, set[int]]:
-        """Returns ``(holder_node, satisfying glsns)``."""
+        """Returns ``(holder_node, satisfying glsns)``.
+
+        With a scheduler-injected subplan cache, whole cross-predicate SMC
+        subplans (the expensive primitives: ``ssi``/``scmp``) are shared
+        across concurrent queries — keyed on the predicate and the
+        participating stores' epochs, so a write on any involved node
+        invalidates exactly the affected entries.  A shared result is a
+        disclosure in its own right (the recipient query learns the
+        outcome without running the rounds), so every reuse is recorded
+        on the ledger.
+        """
+        strategy = qplan.strategies[str(pred)]
+        if self._subplan_cache is None or strategy.primitive not in ("ssi", "scmp"):
+            return self._evaluate_predicate_uncached(pred, qplan, net, deadline)
+        key = (
+            str(pred),
+            strategy.primitive,
+            tuple(
+                (node, self.store.node_store(node).epoch)
+                for node in strategy.nodes
+            ),
+        )
+        ran = False
+
+        def compute() -> tuple[str, frozenset[int]]:
+            nonlocal ran
+            ran = True
+            node, glsns = self._evaluate_predicate_uncached(pred, qplan, net, deadline)
+            return node, frozenset(glsns)
+
+        node, glsns = self._subplan_cache.get_or_compute(key, compute)
+        if not ran:
+            self.ctx.leakage.record(
+                "scheduler",
+                node,
+                "coalesced_result",
+                f"subplan {pred} served from a concurrent query's SMC run "
+                f"at equal store epochs",
+            )
+        return node, set(glsns)
+
+    def _evaluate_predicate_uncached(
+        self,
+        pred: Predicate,
+        qplan: QueryPlan,
+        net: SimNetwork,
+        deadline: Deadline | None = None,
+    ) -> tuple[str, set[int]]:
         strategy = qplan.strategies[str(pred)]
         with protocol_span(
             self.ctx,
@@ -466,26 +530,26 @@ class QueryExecutor:
     def _local_scan(self, node_id: str, pred: Predicate) -> set[int]:
         store = self.store.node_store(node_id)
         key = (node_id, str(pred), store.epoch)
-        cached = self._scan_cache.get(key)
-        if cached is not None:
-            return set(cached)
-        left = pred.left.name
-        out: set[int] = set()
-        for frag in store.scan():
-            if left not in frag.values:
-                continue
-            left_value = frag.values[left]
-            if isinstance(pred.right, Constant):
-                right_value = pred.right.value
-            else:
-                right_name = pred.right.name
-                if right_name not in frag.values:
+
+        def compute() -> frozenset[int]:
+            left = pred.left.name
+            out: set[int] = set()
+            for frag in store.scan():
+                if left not in frag.values:
                     continue
-                right_value = frag.values[right_name]
-            if _apply_op(pred.op, left_value, right_value):
-                out.add(frag.glsn)
-        self._scan_cache.put(key, frozenset(out))
-        return out
+                left_value = frag.values[left]
+                if isinstance(pred.right, Constant):
+                    right_value = pred.right.value
+                else:
+                    right_name = pred.right.name
+                    if right_name not in frag.values:
+                        continue
+                    right_value = frag.values[right_name]
+                if _apply_op(pred.op, left_value, right_value):
+                    out.add(frag.glsn)
+            return frozenset(out)
+
+        return set(self._scan_cache.get_or_compute(key, compute))
 
     def _present_glsns(
         self, node_id: str, attribute: str, matching: set[int] | None = None

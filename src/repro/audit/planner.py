@@ -69,6 +69,22 @@ class QueryPlan:
     def needs_final_intersection(self) -> bool:
         return self.q > 1
 
+    def fingerprint(self) -> str:
+        """Canonical identity of *what this plan computes*.
+
+        Two plans with equal fingerprints produce equal results over equal
+        store states: clauses are commutative under the final conjunction
+        and predicates under each clause's disjunction, so both levels are
+        sorted.  The query scheduler coalesces concurrent queries on
+        ``(fingerprint, store epochs)`` — criterion-text differences that
+        do not change the computation (clause order, spacing) still share.
+        """
+        clauses = sorted(
+            "|".join(sorted(str(cp.predicate) for cp in sq.predicates))
+            for sq in self.subqueries
+        )
+        return " & ".join(clauses)
+
     def describe(self) -> str:
         """Figure-3-style rendering of the decomposition."""
         lines = [f"Q: {self.criterion_text}", f"Q_N: {self.form}"]

@@ -236,20 +236,23 @@ class LruCache:
             self._sync_gauge()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            name=self.name,
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            entries=len(self._entries),
-        )
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                entries=len(self._entries),
+            )
 
     def __repr__(self) -> str:
         s = self.stats

@@ -16,6 +16,7 @@ integration tests drive everything through it.
 from __future__ import annotations
 
 import json
+import threading
 from collections import Counter
 from dataclasses import dataclass
 
@@ -121,6 +122,9 @@ class ConfidentialAuditingService:
         self.metrics = metrics
         #: CostReport of the most recent query/audited_query (None before).
         self.last_query_cost: CostReport | None = None
+        # Concurrent-query scheduler, built lazily on first use (repro.sched).
+        self._scheduler = None
+        self._sched_lock = threading.Lock()
         node_count = len(plan.node_ids)
         self.threshold = threshold if threshold is not None else node_count // 2 + 1
         if not 1 <= self.threshold <= node_count:
@@ -252,6 +256,78 @@ class ConfidentialAuditingService:
         )
         self._collect_cost(net, ops_before)
         return result
+
+    # -- concurrent auditing (repro.sched) ----------------------------------------
+
+    @property
+    def scheduler(self):
+        """The service's persistent :class:`~repro.sched.QueryScheduler`.
+
+        Built on first access from the ``REPRO_SCHED_*`` environment knobs
+        and reused for every subsequent :meth:`submit` / :meth:`query_many`
+        call, so admitted queries share its coalescing caches and channel
+        mux.  :meth:`shutdown_scheduler` tears it down.
+        """
+        with self._sched_lock:
+            if self._scheduler is None:
+                from repro.sched import QueryScheduler
+
+                self._scheduler = QueryScheduler(self)
+            return self._scheduler
+
+    def submit(self, criterion: str, timeout: float | None = None):
+        """Admit one query for concurrent execution; returns its handle.
+
+        The returned :class:`~repro.sched.QueryHandle` resolves to the
+        same :class:`QueryResult` a serial :meth:`query` call would
+        produce, plus per-query cost and leakage.  ``timeout`` starts
+        counting immediately — time spent in the admission queue is part
+        of the budget.
+        """
+        return self.scheduler.submit(criterion, timeout=timeout)
+
+    def gather(self, handles) -> list[QueryResult]:
+        """Results for :meth:`submit` handles, in submission order."""
+        return self.scheduler.gather(handles)
+
+    def query_many(
+        self,
+        criteria,
+        max_concurrency: int | None = None,
+        timeout: float | None = None,
+    ) -> list[QueryResult]:
+        """Run many queries concurrently; results in input order.
+
+        ``max_concurrency`` picks the execution mode:
+
+        * ``0`` — strict serial fallback: a plain :meth:`query` call per
+          criterion, bit-for-bit identical to running them yourself;
+        * ``None`` (default) — the service's persistent :attr:`scheduler`
+          (worker count from ``REPRO_SCHED_WORKERS``);
+        * ``N`` — a dedicated scheduler with ``N`` workers, torn down
+          before returning.
+
+        ``timeout`` applies per query, not to the batch.
+        """
+        criteria = list(criteria)
+        if max_concurrency == 0:
+            return [self.query(criterion, timeout=timeout) for criterion in criteria]
+        if max_concurrency is None:
+            sched = self.scheduler
+            handles = [sched.submit(c, timeout=timeout) for c in criteria]
+            return sched.gather(handles)
+        from repro.sched import QueryScheduler
+
+        with QueryScheduler(self, max_workers=max_concurrency) as sched:
+            handles = [sched.submit(c, timeout=timeout) for c in criteria]
+            return sched.gather(handles)
+
+    def shutdown_scheduler(self) -> None:
+        """Stop the persistent scheduler (a later :meth:`submit` rebuilds it)."""
+        with self._sched_lock:
+            sched, self._scheduler = self._scheduler, None
+        if sched is not None:
+            sched.shutdown()
 
     def audited_query(self, criterion: str, timeout: float | None = None) -> AuditReport:
         """Query + majority agreement + threshold-signed release.

@@ -121,6 +121,8 @@ def encode_message(msg: Message) -> bytes:
         }
         if msg.msg_id is not None:
             body["mid"] = msg.msg_id
+        if msg.channel is not None:
+            body["ch"] = msg.channel
         return json.dumps(body, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise CodecError(f"failed to encode message {msg.kind!r}: {exc}") from exc
@@ -138,6 +140,7 @@ def decode_message(data: bytes) -> Message:
         )
         msg.seq = body.get("seq", msg.seq)
         msg.msg_id = body.get("mid")
+        msg.channel = body.get("ch")
         msg.size_bytes = len(data)
         return msg
     except (KeyError, ValueError, UnicodeDecodeError) as exc:

@@ -45,6 +45,12 @@ class Message:
         reliable transport on first send and preserved verbatim across
         retransmissions so receivers can deduplicate.  ``None`` on
         unreliable (single-shot) transports.
+    channel:
+        Logical channel tag (``repro.sched``): when several concurrent
+        audit queries multiplex one physical network, each query's
+        traffic carries its channel tag so interleaved SMC rounds are
+        dispatched to the right query's handlers and never cross-talk.
+        ``None`` (the default) on plain single-query transports.
     """
 
     src: NodeId
@@ -56,10 +62,14 @@ class Message:
     delivered_at: float | None = None
     size_bytes: int = 0
     msg_id: str | None = None
+    channel: str | None = None
 
     def reply(self, kind: str, payload: Any = None) -> "Message":
         """Construct a response addressed back to this message's sender."""
-        return Message(src=self.dst, dst=self.src, kind=kind, payload=payload)
+        return Message(
+            src=self.dst, dst=self.src, kind=kind, payload=payload,
+            channel=self.channel,
+        )
 
     def forwarded(self, new_dst: NodeId, payload: Any = None) -> "Message":
         """Construct a relay of this message from its receiver to ``new_dst``.
@@ -72,4 +82,5 @@ class Message:
             dst=new_dst,
             kind=self.kind,
             payload=self.payload if payload is None else payload,
+            channel=self.channel,
         )

@@ -134,6 +134,17 @@ class SimNetwork:
         self.failed_links: set[tuple[NodeId, NodeId]] = set()
         #: The undeliverable messages themselves, for attribution.
         self.dead_letters: list[Message] = []
+        #: Per-channel views of the two ledgers above (``repro.sched``):
+        #: when concurrent queries multiplex this network, each query's
+        #: failover supervisor must see only its own dead links, so
+        #: exhausted deliveries are additionally bucketed by the
+        #: message's channel tag.
+        self.failed_links_by_channel: dict[str, set[tuple[NodeId, NodeId]]] = {}
+        self.dead_letters_by_channel: dict[str, list[Message]] = {}
+        #: Optional callback invoked with every dropped message (fault
+        #: drops, corrupt frames, crash-unregistered destinations) so a
+        #: channel multiplexer can attribute drops per query.
+        self.drop_hook: Callable[[Message], None] | None = None
         #: Plain counters mirroring the ``resilience.*`` metrics, so tests
         #: and supervisors can read them without a MetricsRegistry.
         self.resilience_stats: dict[str, int] = {
@@ -225,6 +236,8 @@ class SimNetwork:
             decision = self.faults.decide(msg)
             if decision.drop:
                 self.stats.record_drop()
+                if self.drop_hook is not None:
+                    self.drop_hook(msg)
                 if self.tracer.enabled:
                     self.tracer.add_event(
                         "net.drop",
@@ -280,6 +293,11 @@ class SimNetwork:
             self._pending.pop(msg_id, None)
             self.failed_links.add((msg.src, msg.dst))
             self.dead_letters.append(msg)
+            if msg.channel is not None:
+                self.failed_links_by_channel.setdefault(msg.channel, set()).add(
+                    (msg.src, msg.dst)
+                )
+                self.dead_letters_by_channel.setdefault(msg.channel, []).append(msg)
             self._count(
                 "delivery_failed",
                 "resilience.delivery_failed",
@@ -310,10 +328,22 @@ class SimNetwork:
             Message(src=msg.dst, dst=msg.src, kind=ACK_KIND, payload={"mid": msg.msg_id})
         )
 
-    def reset_failures(self) -> None:
-        """Clear the failed-link ledger (called between failover launches)."""
+    def reset_failures(self, channel: str | None = None) -> None:
+        """Clear the failed-link ledger (called between failover launches).
+
+        With ``channel`` given, only that channel's bucket is cleared —
+        one query's failover must not wipe the diagnosis of a neighbor
+        still inspecting its own dead links.  (The global ledgers keep
+        their union view either way.)
+        """
+        if channel is not None:
+            self.failed_links_by_channel.pop(channel, None)
+            self.dead_letters_by_channel.pop(channel, None)
+            return
         self.failed_links.clear()
         self.dead_letters.clear()
+        self.failed_links_by_channel.clear()
+        self.dead_letters_by_channel.clear()
 
     # -- event loop --------------------------------------------------------
 
@@ -332,6 +362,8 @@ class SimNetwork:
         if handler is None:
             # Node unregistered after the send (crash mid-flight).
             self.stats.record_drop()
+            if self.drop_hook is not None:
+                self.drop_hook(msg)
             if self.tracer.enabled:
                 self.tracer.add_event(
                     "net.drop",
@@ -342,6 +374,8 @@ class SimNetwork:
             # Frame checksum mismatch at the receiver: discard without an
             # ack, so the sender's retransmission path repairs the loss.
             self.stats.record_drop()
+            if self.drop_hook is not None:
+                self.drop_hook(msg)
             self._count(
                 "corrupt_dropped",
                 "net.corrupt_drop",

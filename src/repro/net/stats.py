@@ -17,6 +17,7 @@ at all.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
 from contextlib import contextmanager
@@ -36,6 +37,12 @@ class NetworkStats:
     ``"ssi.encrypt"`` accumulate the seconds spent in that stage across
     the run, so cost reports can attribute wall-clock to crypto stages,
     not just message counts.
+
+    All mutators take one internal lock: when the scheduler
+    (:mod:`repro.sched`) multiplexes concurrent queries over a shared
+    transport, increments from different worker threads must not lose
+    updates (``x += 1`` is not atomic in CPython).  Single-threaded use
+    pays one uncontended lock acquire per record.
     """
 
     messages: int = 0
@@ -50,6 +57,9 @@ class NetworkStats:
     _metrics_prefix: str = field(
         default="repro_net", init=False, repr=False, compare=False
     )
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def attach_metrics(self, registry, prefix: str = "repro_net") -> None:
         """Mirror every future record into a MetricsRegistry."""
@@ -57,11 +67,12 @@ class NetworkStats:
         self._metrics_prefix = prefix
 
     def record(self, kind: str, size: int, src: str, dst: str) -> None:
-        self.messages += 1
-        self.bytes += size
-        self.by_kind[kind] += 1
-        self.bytes_by_kind[kind] += size
-        self.by_link[(src, dst)] += 1
+        with self._lock:
+            self.messages += 1
+            self.bytes += size
+            self.by_kind[kind] += 1
+            self.bytes_by_kind[kind] += size
+            self.by_link[(src, dst)] += 1
         if self._metrics is not None:
             p = self._metrics_prefix
             self._metrics.counter(
@@ -77,7 +88,8 @@ class NetworkStats:
             ).observe(size)
 
     def record_drop(self) -> None:
-        self.dropped += 1
+        with self._lock:
+            self.dropped += 1
         if self._metrics is not None:
             self._metrics.counter(
                 f"{self._metrics_prefix}_dropped_total", help="messages dropped"
@@ -85,8 +97,9 @@ class NetworkStats:
 
     def record_timing(self, stage: str, seconds: float) -> None:
         """Accumulate ``seconds`` of wall-clock against a named stage."""
-        self.timings[stage] = self.timings.get(stage, 0.0) + seconds
-        self.timing_calls[stage] += 1
+        with self._lock:
+            self.timings[stage] = self.timings.get(stage, 0.0) + seconds
+            self.timing_calls[stage] += 1
         if self._metrics is not None:
             self._metrics.histogram(
                 f"{self._metrics_prefix}_stage_latency_seconds",
@@ -105,28 +118,32 @@ class NetworkStats:
             self.record_timing(stage, time.perf_counter() - start)
 
     def reset(self) -> None:
-        self.messages = 0
-        self.bytes = 0
-        self.dropped = 0
-        self.by_kind.clear()
-        self.bytes_by_kind.clear()
-        self.by_link.clear()
-        self.timings.clear()
-        self.timing_calls.clear()
+        with self._lock:
+            self.messages = 0
+            self.bytes = 0
+            self.dropped = 0
+            self.by_kind.clear()
+            self.bytes_by_kind.clear()
+            self.by_link.clear()
+            self.timings.clear()
+            self.timing_calls.clear()
 
     def snapshot(self) -> dict:
         """Plain-dict copy for logging / assertions (JSON-safe throughout:
         link tuples are flattened to ``"src->dst"`` strings)."""
-        return {
-            "messages": self.messages,
-            "bytes": self.bytes,
-            "dropped": self.dropped,
-            "by_kind": dict(self.by_kind),
-            "bytes_by_kind": dict(self.bytes_by_kind),
-            "by_link": {f"{src}->{dst}": n for (src, dst), n in self.by_link.items()},
-            "timings": dict(self.timings),
-            "timing_calls": dict(self.timing_calls),
-        }
+        with self._lock:
+            return {
+                "messages": self.messages,
+                "bytes": self.bytes,
+                "dropped": self.dropped,
+                "by_kind": dict(self.by_kind),
+                "bytes_by_kind": dict(self.bytes_by_kind),
+                "by_link": {
+                    f"{src}->{dst}": n for (src, dst), n in self.by_link.items()
+                },
+                "timings": dict(self.timings),
+                "timing_calls": dict(self.timing_calls),
+            }
 
 
 @dataclass
@@ -138,6 +155,9 @@ class CryptoOpCounter:
     _metrics_prefix: str = field(
         default="repro_crypto", init=False, repr=False, compare=False
     )
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def attach_metrics(self, registry, prefix: str = "repro_crypto") -> None:
         """Mirror every future op count into a MetricsRegistry."""
@@ -145,7 +165,8 @@ class CryptoOpCounter:
         self._metrics_prefix = prefix
 
     def add(self, label: str, count: int = 1) -> None:
-        self.ops[label] += count
+        with self._lock:
+            self.ops[label] += count
         if self._metrics is not None:
             self._metrics.counter(
                 f"{self._metrics_prefix}_ops_total",
@@ -165,11 +186,25 @@ class CryptoOpCounter:
             return self.ops["total.modexp"]
         return sum(v for k, v in self.ops.items() if k.endswith("modexp"))
 
+    def merge(self, other: "CryptoOpCounter") -> None:
+        """Fold another counter's totals in (one lock hold, no lost adds).
+
+        The scheduler gives each concurrent query its own counter and
+        merges it into the service-wide ledger on completion, so global
+        accounting stays exact without contending per-op.
+        """
+        with other._lock:
+            delta = Counter(other.ops)
+        with self._lock:
+            self.ops.update(delta)
+
     def reset(self) -> None:
-        self.ops.clear()
+        with self._lock:
+            self.ops.clear()
 
     def snapshot(self) -> dict:
-        return dict(self.ops)
+        with self._lock:
+            return dict(self.ops)
 
 
 @dataclass(frozen=True)

@@ -97,6 +97,12 @@ class TcpNode:
         self._dedup = DedupWindow()
         self._dedup_lock = threading.Lock()
         self._handler = handler
+        # Per-channel handlers (scheduler multiplexing): a message tagged
+        # with a registered channel routes here instead of the default
+        # handler, so interleaved protocol rounds of concurrent queries
+        # sharing one TCP mesh never cross-dispatch.
+        self._channel_handlers: dict[str, Handler] = {}
+        self._channel_lock = threading.Lock()
         self._address_book: dict[NodeId, tuple[str, int]] = {}
         self._outbound: dict[NodeId, socket.socket] = {}
         self._outbound_lock = threading.Lock()
@@ -119,6 +125,15 @@ class TcpNode:
 
     def set_handler(self, handler: Handler) -> None:
         self._handler = handler
+
+    def register_channel(self, tag: str, handler: Handler) -> None:
+        """Route deliveries tagged ``channel=tag`` to a dedicated handler."""
+        with self._channel_lock:
+            self._channel_handlers[tag] = handler
+
+    def unregister_channel(self, tag: str) -> None:
+        with self._channel_lock:
+            self._channel_handlers.pop(tag, None)
 
     def learn_peers(self, address_book: dict[NodeId, tuple[str, int]]) -> None:
         """Install the cluster address book (node id -> (host, port))."""
@@ -275,6 +290,12 @@ class TcpNode:
             self._deliver(msg)
 
     def _deliver(self, msg: Message) -> None:
+        if msg.channel is not None:
+            with self._channel_lock:
+                channel_handler = self._channel_handlers.get(msg.channel)
+            if channel_handler is not None:
+                channel_handler(msg, self)
+                return
         if self._handler is not None:
             self._handler(msg, self)
         else:

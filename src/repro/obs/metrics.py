@@ -16,8 +16,15 @@ from singleton equality checks to thousand-element rings).
 from __future__ import annotations
 
 import bisect
+import threading
 
 from repro.errors import ConfigurationError
+
+# One process-wide lock guards every metric mutation and family lookup.
+# Emission is cheap (an int add) and the scheduler's concurrent queries
+# emit from many threads; a single coarse lock keeps increments exact
+# without per-metric lock storage (Counter/Gauge/Histogram use __slots__).
+_LOCK = threading.Lock()
 
 __all__ = [
     "Counter",
@@ -45,7 +52,8 @@ class Counter:
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
             raise ConfigurationError("counters only go up")
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
 
 class Gauge:
@@ -57,13 +65,16 @@ class Gauge:
         self.value = 0
 
     def set(self, value: int | float) -> None:
-        self.value = value
+        with _LOCK:
+            self.value = value
 
     def inc(self, amount: int | float = 1) -> None:
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
     def dec(self, amount: int | float = 1) -> None:
-        self.value -= amount
+        with _LOCK:
+            self.value -= amount
 
 
 class Histogram:
@@ -83,9 +94,10 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: int | float) -> None:
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        with _LOCK:
+            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
 
     def cumulative(self) -> list[int]:
         """Prometheus-style cumulative counts (one per bound, plus +Inf)."""
@@ -144,19 +156,21 @@ class MetricsRegistry:
         return family
 
     def counter(self, name: str, help: str = "", labels: dict | None = None) -> Counter:
-        family = self._family(name, "counter", help)
-        key = _label_key(labels)
-        metric = family.instances.get(key)
-        if metric is None:
-            metric = family.instances[key] = Counter()
+        with _LOCK:
+            family = self._family(name, "counter", help)
+            key = _label_key(labels)
+            metric = family.instances.get(key)
+            if metric is None:
+                metric = family.instances[key] = Counter()
         return metric  # type: ignore[return-value]
 
     def gauge(self, name: str, help: str = "", labels: dict | None = None) -> Gauge:
-        family = self._family(name, "gauge", help)
-        key = _label_key(labels)
-        metric = family.instances.get(key)
-        if metric is None:
-            metric = family.instances[key] = Gauge()
+        with _LOCK:
+            family = self._family(name, "gauge", help)
+            key = _label_key(labels)
+            metric = family.instances.get(key)
+            if metric is None:
+                metric = family.instances[key] = Gauge()
         return metric  # type: ignore[return-value]
 
     def histogram(
@@ -166,11 +180,14 @@ class MetricsRegistry:
         help: str = "",
         labels: dict | None = None,
     ) -> Histogram:
-        family = self._family(name, "histogram", help, buckets or LATENCY_BUCKETS_SECONDS)
-        key = _label_key(labels)
-        metric = family.instances.get(key)
-        if metric is None:
-            metric = family.instances[key] = Histogram(family.buckets)
+        with _LOCK:
+            family = self._family(
+                name, "histogram", help, buckets or LATENCY_BUCKETS_SECONDS
+            )
+            key = _label_key(labels)
+            metric = family.instances.get(key)
+            if metric is None:
+                metric = family.instances[key] = Histogram(family.buckets)
         return metric  # type: ignore[return-value]
 
     # -- export ------------------------------------------------------------

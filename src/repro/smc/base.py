@@ -85,6 +85,13 @@ class SmcContext:
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; when given,
         crypto-op counts and modexp batch sizes feed into it.
+    encoder:
+        Optional :class:`~repro.crypto.pohlig_hellman.MessageEncoder` to
+        share instead of building a fresh one.  The query scheduler gives
+        every concurrent query its own context (own RNG stream, crypto
+        counter, and leakage ledger) but passes the service's encoder
+        through, so the hashed-encoding memo — pure in (value, prime) —
+        is warmed once for all in-flight queries.
     """
 
     def __init__(
@@ -94,6 +101,7 @@ class SmcContext:
         engine=None,
         tracer=None,
         metrics=None,
+        encoder: MessageEncoder | None = None,
     ) -> None:
         if prime < 17:
             raise ConfigurationError("shared prime too small")
@@ -102,7 +110,9 @@ class SmcContext:
         # Hashed encodings are pure in (value, prime): memoize them so
         # repeated protocol runs over the same elements skip the SHA-256
         # rejection sampling and squaring (REPRO_CACHE=off disables).
-        self.encoder = MessageEncoder(
+        if encoder is not None and encoder.p != prime:
+            raise ConfigurationError("shared encoder prime does not match context")
+        self.encoder = encoder or MessageEncoder(
             prime, cache=LruCache("encoder.hashed", metrics=metrics)
         )
         self.engine = resolve_engine(engine)

@@ -14,7 +14,9 @@ a relaxed protocol must instead *state* its leakage.  Every protocol in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.errors import SmcError
 
@@ -53,11 +55,19 @@ class LeakageLedger:
     When constructed with a tracer, every recorded disclosure is also
     emitted as a ``"leakage"`` span event on whatever span is open — so a
     trace carries the full disclosure story inline with the cost story.
+
+    Ledgers are thread-safe, and crucially :meth:`extend` appends a whole
+    group of events under one lock hold: the query scheduler gives each
+    concurrent query a private ledger (within-query order is the
+    protocol's deterministic causal order) and merges it into the
+    service-wide ledger on completion, so the global ledger stays grouped
+    per query instead of interleaving entries from racing queries.
     """
 
     def __init__(self, tracer=None) -> None:
         self._events: list[LeakageEvent] = []
         self._tracer = tracer
+        self._lock = threading.Lock()
 
     def record(self, protocol: str, observer: str, category: str, detail: str) -> None:
         """Record one disclosure.
@@ -74,7 +84,8 @@ class LeakageLedger:
                 f"protocol {protocol!r} attempted to disclose primary data "
                 f"({category}) to {observer!r}"
             )
-        self._events.append(LeakageEvent(protocol, observer, category, detail))
+        with self._lock:
+            self._events.append(LeakageEvent(protocol, observer, category, detail))
         if self._tracer is not None and self._tracer.enabled:
             self._tracer.add_event(
                 "leakage",
@@ -86,20 +97,41 @@ class LeakageLedger:
                 },
             )
 
+    def extend(self, events: Iterable[LeakageEvent]) -> None:
+        """Append a group of events atomically (one lock hold).
+
+        Used to merge a completed query's private ledger into a shared
+        one: the group lands contiguous and in order, never interleaved
+        with another query's merge.  Primary-category screening applies
+        to every event, same as :meth:`record`.
+        """
+        batch = list(events)
+        for event in batch:
+            if event.category in _PRIMARY_CATEGORIES:
+                raise SmcError(
+                    f"protocol {event.protocol!r} attempted to disclose primary "
+                    f"data ({event.category}) to {event.observer!r}"
+                )
+        with self._lock:
+            self._events.extend(batch)
+
     @property
     def events(self) -> list[LeakageEvent]:
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def categories(self) -> set[str]:
-        return {e.category for e in self._events}
+        return {e.category for e in self.events}
 
     def by_observer(self, observer: str) -> list[LeakageEvent]:
-        return [e for e in self._events if e.observer in (observer, "*")]
+        return [e for e in self.events if e.observer in (observer, "*")]
 
     def count(self, category: str | None = None) -> int:
         if category is None:
-            return len(self._events)
-        return sum(1 for e in self._events if e.category == category)
+            with self._lock:
+                return len(self._events)
+        return sum(1 for e in self.events if e.category == category)
 
     def clear(self) -> None:
-        self._events.clear()
+        with self._lock:
+            self._events.clear()

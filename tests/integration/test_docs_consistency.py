@@ -105,6 +105,21 @@ class TestDocsReferenceRealKnobs:
         missing = sorted(c for c in documented if f'"{c}"' not in main_source)
         assert not missing, f"docs reference unknown subcommands: {missing}"
 
+    def test_every_scheduler_knob_documented(self):
+        """The reverse sweep for the scheduler: every ``REPRO_SCHED_*``
+        knob the source defines must appear in the docs (a tuning knob
+        nobody can discover might as well not exist)."""
+        sched_source = "\n".join(
+            read(p) for p in (SRC / "sched").rglob("*.py")
+        )
+        defined = set(re.findall(r"\bREPRO_SCHED_[A-Z_]*[A-Z]\b", sched_source))
+        assert defined, "expected REPRO_SCHED_* knobs in repro.sched"
+        docs = all_docs()
+        undocumented = sorted(v for v in defined if v not in docs)
+        assert not undocumented, (
+            f"REPRO_SCHED_* knobs missing from the docs: {undocumented}"
+        )
+
 
 class TestDocsIndexIsComplete:
     def test_every_subpackage_mapped(self):

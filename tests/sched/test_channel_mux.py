@@ -1,0 +1,194 @@
+"""ChannelMux: tagged channels over one shared network never cross-talk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import DeterministicRng
+from repro.net.faults import FaultPlan
+from repro.net.message import Message
+from repro.net.simnet import SimNetwork
+from repro.resilience import RetryPolicy
+from repro.sched import ChannelMux
+
+
+def collector(sink: list):
+    def handler(msg, transport):
+        sink.append((msg.src, msg.dst, msg.kind, msg.payload))
+
+    return handler
+
+
+class TestDispatchIsolation:
+    def test_same_party_names_no_cross_dispatch(self):
+        """Two queries both register a party 'P0'; each sees only its own."""
+        net = SimNetwork()
+        mux = ChannelMux(net)
+        a, b = mux.channel("qa"), mux.channel("qb")
+        seen_a: list = []
+        seen_b: list = []
+        for node in ("P0", "P1"):
+            a.register(node, collector(seen_a))
+            b.register(node, collector(seen_b))
+        a.send(Message(src="P0", dst="P1", kind="x.ping", payload={"q": "a"}))
+        b.send(Message(src="P0", dst="P1", kind="x.ping", payload={"q": "b"}))
+        b.send(Message(src="P1", dst="P0", kind="x.pong", payload={"q": "b"}))
+        a.run()
+        assert seen_a == [("P0", "P1", "x.ping", {"q": "a"})]
+        assert sorted(m[2] for m in seen_b) == ["x.ping", "x.pong"]
+        assert all(m[3]["q"] == "b" for m in seen_b)
+
+    def test_per_channel_stats(self):
+        net = SimNetwork()
+        mux = ChannelMux(net)
+        a, b = mux.channel("qa"), mux.channel("qb")
+        for node in ("P0", "P1"):
+            a.register(node, collector([]))
+            b.register(node, collector([]))
+        for _ in range(3):
+            a.send(Message(src="P0", dst="P1", kind="x.data", payload={}))
+        b.send(Message(src="P0", dst="P1", kind="x.data", payload={}))
+        a.run()
+        assert a.stats.messages == 3
+        assert b.stats.messages == 1
+        assert a.stats.bytes > 0
+
+    def test_untagged_message_is_dropped_not_misrouted(self):
+        net = SimNetwork()
+        mux = ChannelMux(net)
+        a = mux.channel("qa")
+        seen: list = []
+        a.register("P0", collector(seen))
+        a.register("P1", collector(seen))
+        net.send(Message(src="P0", dst="P1", kind="x.stray", payload={}))
+        a.run()
+        assert seen == []
+        assert net.stats.dropped == 1
+
+    def test_closed_channel_traffic_is_dropped(self):
+        net = SimNetwork()
+        mux = ChannelMux(net)
+        a, b = mux.channel("qa"), mux.channel("qb")
+        seen_b: list = []
+        a.register("P0", collector([]))
+        a.register("P1", collector([]))
+        b.register("P1", collector(seen_b))
+        a.send(Message(src="P0", dst="P1", kind="x.late", payload={}))
+        a.close()
+        b.run()
+        assert seen_b == []
+
+    def test_channel_tag_roundtrips_the_codec(self):
+        from repro.net.codec import decode_message, encode_message
+
+        msg = Message(src="P0", dst="P1", kind="x.t", payload={"v": 1})
+        msg.channel = "q7"
+        decoded = decode_message(encode_message(msg))
+        assert decoded.channel == "q7"
+        # Untagged messages stay byte-identical to the pre-channel codec.
+        plain = Message(src="P0", dst="P1", kind="x.t", payload={"v": 1})
+        assert b'"ch"' not in encode_message(plain)
+
+    def test_reply_and_forward_preserve_channel(self):
+        msg = Message(src="P0", dst="P1", kind="x.req", payload={})
+        msg.channel = "q3"
+        assert msg.reply("x.resp", {}).channel == "q3"
+        assert msg.forwarded("P2").channel == "q3"
+
+
+class TestPerChannelFailureDiagnosis:
+    def _resilient_mux(self, victim: str):
+        faults = FaultPlan(rng=DeterministicRng(b"mux-chaos"))
+        faults.crash(victim)
+        net = SimNetwork(resilience=RetryPolicy(), faults=faults)
+        return net, ChannelMux(net)
+
+    def test_failed_links_bucketed_by_channel(self):
+        net, mux = self._resilient_mux("A1")
+        a, b = mux.channel("qa"), mux.channel("qb")
+        # Channel A talks to the crashed node; channel B is healthy.
+        for node in ("A0", "A1"):
+            a.register(node, collector([]))
+        seen_b: list = []
+        for node in ("B0", "B1"):
+            b.register(node, collector(seen_b))
+        a.send(Message(src="A0", dst="A1", kind="x.doomed", payload={}))
+        b.send(Message(src="B0", dst="B1", kind="x.fine", payload={}))
+        a.run()
+        assert a.failed_links == {("A0", "A1")}
+        assert b.failed_links == set()
+        assert len(a.dead_letters) == 1
+        assert b.dead_letters == []
+        assert len(seen_b) == 1
+
+    def test_reset_failures_is_channel_scoped(self):
+        net, mux = self._resilient_mux("A1")
+        a, b = mux.channel("qa"), mux.channel("qb")
+        for node in ("A0", "A1"):
+            a.register(node, collector([]))
+        for node in ("B0", "B1"):
+            b.register(node, collector([]))
+        a.send(Message(src="A0", dst="A1", kind="x.doomed", payload={}))
+        b.send(Message(src="B0", dst="B1", kind="x.doomed2", payload={}))
+        # Crash B1 too so both channels hold a diagnosis.
+        net.faults.crash("B1")
+        a.run()
+        assert a.failed_links and b.failed_links
+        a.reset_failures()
+        assert a.failed_links == set()
+        assert b.failed_links == {("B0", "B1")}  # neighbor diagnosis intact
+
+    def test_drop_attribution_per_channel(self):
+        faults = FaultPlan(rng=DeterministicRng(b"mux-drop"), drop_rate=1.0)
+        net = SimNetwork(faults=faults)  # no resilience: drops are final
+        mux = ChannelMux(net)
+        a, b = mux.channel("qa"), mux.channel("qb")
+        for node in ("P0", "P1"):
+            a.register(node, collector([]))
+            b.register(node, collector([]))
+        a.send(Message(src="P0", dst="P1", kind="x.gone", payload={}))
+        a.run()
+        assert a.stats.dropped == 1
+        assert b.stats.dropped == 0
+
+
+class TestRunLoop:
+    def test_run_is_reentrant_across_channels(self):
+        """A handler on one channel sending on its own channel while
+        another channel pumps the loop ("helping") stays ordered."""
+        net = SimNetwork()
+        mux = ChannelMux(net)
+        a, b = mux.channel("qa"), mux.channel("qb")
+        seen_a: list = []
+
+        def relay(msg, transport):
+            seen_a.append(msg.kind)
+            if msg.kind == "x.first":
+                transport.send(
+                    Message(src=msg.dst, dst=msg.src, kind="x.second", payload={})
+                )
+
+        a.register("P0", relay)
+        a.register("P1", relay)
+        b.register("P0", collector([]))
+        a.send(Message(src="P0", dst="P1", kind="x.first", payload={}))
+        b.run()  # channel B's runner drains channel A's deliveries
+        assert seen_a == ["x.first", "x.second"]
+
+    def test_max_steps_guard(self):
+        from repro.errors import ConfigurationError
+
+        net = SimNetwork()
+        mux = ChannelMux(net)
+        a = mux.channel("qa")
+
+        def ping_pong(msg, transport):
+            transport.send(
+                Message(src=msg.dst, dst=msg.src, kind="x.echo", payload={})
+            )
+
+        a.register("P0", ping_pong)
+        a.register("P1", ping_pong)
+        a.send(Message(src="P0", dst="P1", kind="x.echo", payload={}))
+        with pytest.raises(ConfigurationError):
+            a.run(max_steps=10)

@@ -1,0 +1,98 @@
+"""Scheduler under faults: one query's dead node never poisons neighbors.
+
+Reuses the chaos-matrix recipe (resilient net + FaultPlan crash) at the
+service level: the scheduler multiplexes every in-flight query over ONE
+shared network, so a crashed node exercises exactly the isolation the
+per-channel failure buckets exist for.  With a :class:`RetryPolicy` the
+victim-touching query either fails over (degraded answer, skipped node)
+or raises a typed :class:`ReproError` — it never hangs and it never
+contaminates a neighboring query's channel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import DeterministicRng
+from repro.errors import ReproError
+from repro.net.faults import FaultPlan
+from repro.resilience import RetryPolicy
+from tests.sched.conftest import build_service
+
+# Touches P0 (C4) and P1 (EID): the only query that needs the victim.
+VICTIM_QUERY = "C4 = 1 and EID < 10"
+# Touch P3/P2, P3/P1 and P2-only: healthy anchor pairs.
+NEIGHBOR_QUERIES = [
+    "C1 > 30 and C3 = 'bank'",
+    "C1 > 30 and C2 < 400",
+    "C3 = 'bank' or C3 = 'salary'",
+]
+VICTIM = "P0"
+
+
+def _settle(handle, timeout: float = 120.0):
+    """Resolve a handle: (result, exception) — typed errors only."""
+    try:
+        return handle.result(timeout=timeout), None
+    except ReproError as exc:
+        return None, exc
+
+
+@pytest.fixture()
+def chaos_service():
+    faults = FaultPlan(rng=DeterministicRng(b"sched-chaos"))
+    faults.crash(VICTIM)
+    service = build_service(resilience=RetryPolicy(), faults=faults)
+    yield service
+    service.shutdown_scheduler()
+
+
+def test_dead_node_failover_does_not_poison_neighbors(chaos_service):
+    baseline = build_service()  # fault-free twin for ground truth
+    expected = [baseline.query(c) for c in NEIGHBOR_QUERIES]
+
+    doomed = chaos_service.submit(VICTIM_QUERY)
+    neighbors = [chaos_service.submit(c) for c in NEIGHBOR_QUERIES]
+
+    # The victim-touching query settles — failover (degraded answer) or
+    # a typed failure — never a hang (channel max_steps/deadline guard).
+    result, error = _settle(doomed)
+    assert doomed.done
+    if error is None:
+        # Failover path: the ring skipped the dead anchor, so the answer
+        # is degraded relative to the fault-free run.
+        sick = baseline.query(VICTIM_QUERY)
+        assert result.glsns != sick.glsns or doomed.cost.messages > 0
+
+    # Every neighbor completes with the exact fault-free answer.
+    for handle, want in zip(neighbors, expected):
+        got = handle.result(timeout=120)
+        assert handle.exception() is None
+        assert got.glsns == want.glsns
+        assert got.subquery_glsns == want.subquery_glsns
+
+    # The shared network diagnosed the crash, and the diagnosis names
+    # only the victim — never a healthy anchor.
+    sched = chaos_service.scheduler
+    failovers = sched.net.resilience_stats.get("failovers", 0)
+    failed = sched.net.failed_links
+    assert failovers >= 1 or failed
+    assert all(VICTIM in link for link in failed)
+
+
+def test_scheduler_stays_usable_after_a_victim_query(chaos_service):
+    doomed = chaos_service.submit(VICTIM_QUERY)
+    _settle(doomed)
+    # Same scheduler, new query on healthy anchors: full exact answer.
+    later = chaos_service.submit(NEIGHBOR_QUERIES[0])
+    want = build_service().query(NEIGHBOR_QUERIES[0])
+    assert later.result(timeout=120).glsns == want.glsns
+
+
+def test_victim_query_cost_still_attributed(chaos_service):
+    doomed = chaos_service.submit(VICTIM_QUERY)
+    _settle(doomed)
+    # The attempt spent traffic (retransmissions towards the dead node)
+    # and that spend is attributed to this query's handle.
+    assert doomed.cost is not None
+    assert doomed.cost.messages > 0

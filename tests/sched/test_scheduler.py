@@ -1,0 +1,325 @@
+"""QueryScheduler: correctness vs serial, coalescing, backpressure, deadlines."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    SchedulerSaturatedError,
+    SchedulerShutdownError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sched import QueryScheduler, SchedulerConfig
+from tests.sched.conftest import CRITERIA, build_service
+
+
+def assert_same_result(serial, concurrent):
+    """Semantic equality: same matches, same per-clause decomposition."""
+    assert serial.glsns == concurrent.glsns
+    assert serial.subquery_glsns == concurrent.subquery_glsns
+    assert serial.count == concurrent.count
+
+
+class TestEquivalenceWithSerial:
+    def test_query_many_matches_serial_per_query(self, twin_services):
+        serial_svc, conc_svc = twin_services
+        expected = [serial_svc.query(c) for c in CRITERIA]
+        got = conc_svc.query_many(CRITERIA, max_concurrency=4)
+        assert len(got) == len(expected)
+        for s, c in zip(expected, got):
+            assert_same_result(s, c)
+
+    def test_submit_gather_matches_serial(self, twin_services):
+        serial_svc, conc_svc = twin_services
+        expected = [serial_svc.query(c) for c in CRITERIA]
+        handles = [conc_svc.submit(c) for c in CRITERIA]
+        got = conc_svc.gather(handles)
+        for s, c in zip(expected, got):
+            assert_same_result(s, c)
+        conc_svc.shutdown_scheduler()
+
+    def test_coalescing_off_still_matches_serial(self, twin_services):
+        serial_svc, conc_svc = twin_services
+        expected = [serial_svc.query(c) for c in CRITERIA]
+        with QueryScheduler(conc_svc, max_workers=4, coalesce=False) as sched:
+            got = sched.gather([sched.submit(c) for c in CRITERIA])
+        for s, c in zip(expected, got):
+            assert_same_result(s, c)
+        assert sched.coalesce_stats() == {}
+
+    def test_serial_fallback_is_a_literal_query_loop(self, twin_services):
+        """max_concurrency=0 goes through service.query itself: results are
+        bit-for-bit what a hand-written serial loop would produce, and no
+        scheduler machinery is ever constructed."""
+        serial_svc, fb_svc = twin_services
+        expected = [serial_svc.query(c) for c in CRITERIA]
+        got = fb_svc.query_many(CRITERIA, max_concurrency=0)
+        for s, f in zip(expected, got):
+            assert_same_result(s, f)
+            # Identical code path => identical traffic counts too.
+            assert s.messages == f.messages
+        assert fb_svc._scheduler is None
+
+
+class TestHandles:
+    def test_handle_carries_result_cost_and_leakage(self, service):
+        handle = service.submit(CRITERIA[0])
+        result = handle.result(timeout=60)
+        assert handle.done
+        assert handle.exception() is None
+        assert result.glsns == service.query(CRITERIA[0]).glsns
+        assert handle.latency is not None and handle.latency > 0
+        assert handle.cost is not None and handle.cost.messages > 0
+        assert handle.leakage  # the cross-anchor ssi discloses set sizes
+        categories = {e.category for e in handle.leakage}
+        assert "set_size" in categories
+
+    def test_gather_returns_submission_order(self, service):
+        handles = [service.submit(c) for c in CRITERIA]
+        results = service.gather(handles)
+        for criterion, result in zip(CRITERIA, results):
+            assert result.plan.criterion_text == criterion
+
+
+class TestCoalescing:
+    def test_identical_queries_fan_out(self, service):
+        sched = service.scheduler
+        criterion = CRITERIA[0]
+        handles = [sched.submit(criterion) for _ in range(4)]
+        results = sched.gather(handles)
+        assert all(r.glsns == results[0].glsns for r in results)
+        coalesced = [h for h in handles if h.coalesced]
+        computed = [h for h in handles if not h.coalesced]
+        assert len(computed) >= 1 and len(coalesced) >= 1
+        # A fanned-out query caused no traffic of its own...
+        for h in coalesced:
+            assert h.cost.messages == 0 and h.cost.bytes == 0
+        # ...and its ledger says explicitly where the result came from.
+        for h in coalesced:
+            assert [e.category for e in h.leakage] == ["coalesced_result"]
+        assert service.ctx.leakage.count("coalesced_result") == len(coalesced)
+
+    def test_fanned_out_results_are_private_copies(self, service):
+        sched = service.scheduler
+        handles = [sched.submit(CRITERIA[0]) for _ in range(2)]
+        a, b = sched.gather(handles)
+        assert a.glsns == b.glsns
+        if a is not b:  # coalesced pair -> distinct mutable lists
+            a.glsns.append(-1)
+            assert b.glsns[-1] != -1
+
+    def test_shared_subplan_recorded_on_ledger(self):
+        service = build_service()
+        try:
+            # Distinct criteria sharing one expensive scmp cross predicate.
+            pair = ["C1 > C5 and C3 = 'bank'", "C1 > C5 and C2 < 400"]
+            with QueryScheduler(service, max_workers=1) as sched:
+                results = sched.gather([sched.submit(c) for c in pair])
+            twin = build_service()
+            for criterion, result in zip(pair, results):
+                assert twin.query(criterion).glsns == result.glsns
+            # The second query reused the first's C1>C5 subplan.
+            assert service.ctx.leakage.count("coalesced_result") >= 1
+        finally:
+            service.shutdown_scheduler()
+
+    def test_coalesce_stats_expose_all_levels(self, service):
+        sched = service.scheduler
+        sched.gather([sched.submit(c) for c in CRITERIA])
+        stats = sched.coalesce_stats()
+        assert set(stats) == {
+            "sched.scan",
+            "sched.projection",
+            "sched.subplan",
+            "sched.query",
+        }
+        assert stats["sched.query"]["hits"] + stats["sched.query"]["joins"] > 0
+
+
+class TestLeakageGrouping:
+    def test_ledger_groups_per_query(self, service):
+        """Entries of racing queries never interleave: each query's private
+        ledger lands in the service ledger as one contiguous group."""
+        handles = [service.submit(c) for c in CRITERIA]
+        service.gather(handles)
+        merged = service.ctx.leakage.events
+        for handle in handles:
+            if not handle.leakage:
+                continue
+            group = handle.leakage
+            starts = [
+                i
+                for i in range(len(merged) - len(group) + 1)
+                if merged[i : i + len(group)] == group
+            ]
+            assert starts, f"query #{handle.seq}'s ledger group was interleaved"
+
+    def test_within_query_order_is_deterministic(self):
+        """Same query, two identically-seeded deployments, concurrency on:
+        each query's private leakage sequence is identical."""
+        a, b = build_service(), build_service()
+        try:
+            ha = [a.submit(c) for c in CRITERIA]
+            hb = [b.submit(c) for c in CRITERIA]
+            a.gather(ha)
+            b.gather(hb)
+            for x, y in zip(ha, hb):
+                if x.coalesced == y.coalesced:
+                    assert x.leakage == y.leakage
+        finally:
+            a.shutdown_scheduler()
+            b.shutdown_scheduler()
+
+
+class TestAdmissionControl:
+    def _slow_scheduler(self, service, delay: float, **kwargs) -> QueryScheduler:
+        sched = QueryScheduler(service, **kwargs)
+        original = sched._execute
+
+        def slow_execute(handle, qplan):
+            time.sleep(delay)
+            return original(handle, qplan)
+
+        sched._execute = slow_execute
+        return sched
+
+    def test_backpressure_raises_saturated(self, service):
+        sched = self._slow_scheduler(
+            service,
+            delay=0.4,
+            max_workers=1,
+            queue_depth=1,
+            admission_timeout=0.05,
+        )
+        try:
+            first = sched.submit(CRITERIA[0])  # occupies the only worker
+            time.sleep(0.05)  # let the worker pick it up
+            second = sched.submit(CRITERIA[1])  # fills the queue
+            with pytest.raises(SchedulerSaturatedError):
+                sched.submit(CRITERIA[2])
+            assert first.result(timeout=60) is not None
+            assert second.result(timeout=60) is not None
+        finally:
+            sched.shutdown()
+
+    def test_deadline_expires_in_admission_queue(self, service):
+        sched = self._slow_scheduler(service, delay=0.3, max_workers=1)
+        try:
+            slow = sched.submit(CRITERIA[0])
+            time.sleep(0.05)
+            doomed = sched.submit(CRITERIA[1], timeout=0.01)
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=60)
+            assert doomed.exception() is not None
+            # The neighbor is unaffected by the expiry.
+            assert slow.result(timeout=60).glsns is not None
+        finally:
+            sched.shutdown()
+
+    def test_shutdown_rejects_new_queries(self, service):
+        sched = service.scheduler
+        sched.gather([sched.submit(CRITERIA[0])])
+        sched.shutdown()
+        with pytest.raises(SchedulerShutdownError):
+            sched.submit(CRITERIA[0])
+        # The service rebuilds a fresh scheduler on demand.
+        service.shutdown_scheduler()
+        assert service.query_many([CRITERIA[0]])[0].glsns is not None
+
+
+class TestConfig:
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHED_WORKERS", "7")
+        monkeypatch.setenv("REPRO_SCHED_QUEUE_DEPTH", "9")
+        monkeypatch.setenv("REPRO_SCHED_COALESCE", "off")
+        monkeypatch.setenv("REPRO_SCHED_ADMISSION_TIMEOUT", "1.5")
+        config = SchedulerConfig.from_env()
+        assert config.workers == 7
+        assert config.queue_depth == 9
+        assert config.coalesce is False
+        assert config.admission_timeout == 1.5
+
+    def test_env_defaults(self, monkeypatch):
+        for var in (
+            "REPRO_SCHED_WORKERS",
+            "REPRO_SCHED_QUEUE_DEPTH",
+            "REPRO_SCHED_COALESCE",
+            "REPRO_SCHED_ADMISSION_TIMEOUT",
+        ):
+            monkeypatch.delenv(var, raising=False)
+        config = SchedulerConfig.from_env()
+        assert config.workers == 4
+        assert config.queue_depth == 64
+        assert config.coalesce is True
+        assert config.admission_timeout is None
+
+    @pytest.mark.parametrize(
+        "var,value",
+        [
+            ("REPRO_SCHED_WORKERS", "zero"),
+            ("REPRO_SCHED_WORKERS", "0"),
+            ("REPRO_SCHED_QUEUE_DEPTH", "-3"),
+            ("REPRO_SCHED_ADMISSION_TIMEOUT", "soon"),
+        ],
+    )
+    def test_invalid_env_raises(self, monkeypatch, var, value):
+        monkeypatch.setenv(var, value)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig.from_env()
+
+    def test_sched_metrics_emitted(self):
+        registry = MetricsRegistry()
+        service = build_service(metrics=registry)
+        try:
+            service.scheduler.gather(
+                [service.submit(c) for c in CRITERIA]
+            )
+            snapshot = registry.snapshot()
+            for name in (
+                "sched.submitted",
+                "sched.completed",
+                "sched.queue_depth",
+                "sched.in_flight",
+                "sched.admission_wait_seconds",
+                "sched.coalesce_hits",
+            ):
+                assert name in snapshot, name
+            assert registry.value("sched.submitted") == len(CRITERIA)
+            assert registry.value("sched.completed") == len(CRITERIA)
+            assert registry.value("sched.in_flight") == 0
+        finally:
+            service.shutdown_scheduler()
+
+
+class TestThreadSafeSubmission:
+    def test_concurrent_submitters(self, twin_services):
+        """Many client threads submitting at once: all results correct."""
+        serial_svc, conc_svc = twin_services
+        expected = {c: serial_svc.query(c).glsns for c in set(CRITERIA)}
+        results: dict[int, list[int]] = {}
+        errors: list[BaseException] = []
+
+        def client(i: int, criterion: str) -> None:
+            try:
+                handle = conc_svc.submit(criterion)
+                results[i] = handle.result(timeout=60).glsns
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i, c))
+            for i, c in enumerate(CRITERIA * 2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for i, criterion in enumerate(CRITERIA * 2):
+            assert results[i] == expected[criterion]
+        conc_svc.shutdown_scheduler()
