@@ -78,13 +78,17 @@ class NodeCredentials:
 class CredentialAuthority:
     """Mints anonymous audit tokens and arbitrates identity escrow."""
 
-    def __init__(self, group: SchnorrGroup | None = None, rng=None) -> None:
+    def __init__(self, group: SchnorrGroup | None = None, rng=None,
+                 precompute=None) -> None:
         self._rng = rng or system_rng()
         self.group = group or SchnorrGroup.generate(256, self._rng)
         self.key = SchnorrKeyPair.generate(self.group, self._rng)
         self.pedersen = PedersenParams.generate(256, self._rng.spawn("pedersen"))
         self._signer = SchnorrSigner(self.group, self._rng)
-        self._blind = BlindSigner(self.group, self.key, self._rng.spawn("blind"))
+        self._precompute = precompute
+        self._blind = BlindSigner(
+            self.group, self.key, self._rng.spawn("blind"), precompute=precompute
+        )
         self.enrolled: set[str] = set()
 
     @property
@@ -106,7 +110,10 @@ class CredentialAuthority:
         pseudonym_key = SchnorrKeyPair.generate(self.group, rng)
 
         # Blind issuance: the authority signs without seeing the pseudonym.
-        client = BlindingClient(self.group, self.key.y, rng=rng.spawn("blinding"))
+        client = BlindingClient(
+            self.group, self.key.y, rng=rng.spawn("blinding"),
+            precompute=self._precompute,
+        )
         session, commitment_r = self._blind.start()
         token_message = b"dla-token:" + _int_bytes(pseudonym_key.y)
         challenge = client.challenge(commitment_r, token_message)

@@ -46,6 +46,7 @@ from repro.logstore.store import DistributedLogStore, WriteReceipt
 from repro.net.simnet import SimNetwork
 from repro.net.stats import CostReport, CryptoOpCounter
 from repro.obs.tracer import NOOP_TRACER
+from repro.precompute import PrecomputeManager
 from repro.smc.base import SmcContext
 
 __all__ = ["AuditReport", "ConfidentialAuditingService"]
@@ -120,6 +121,14 @@ class ConfidentialAuditingService:
         self.plan = plan
         self.tracer = tracer or NOOP_TRACER
         self.metrics = metrics
+        #: Correlated-randomness pools shared by every protocol this
+        #: service drives (offline/online split; ``REPRO_PRECOMPUTE_*``).
+        self.precompute = PrecomputeManager(
+            rng=self.rng.spawn("precompute"), metrics=self.metrics
+        )
+        #: Modexp ledger for distributed integrity rounds (kept separate
+        #: from the query ledger so per-query CostReport deltas are pure).
+        self.integrity_ops = CryptoOpCounter()
         #: CostReport of the most recent query/audited_query (None before).
         self.last_query_cost: CostReport | None = None
         # Concurrent-query scheduler, built lazily on first use (repro.sched).
@@ -151,12 +160,15 @@ class ConfidentialAuditingService:
             self.rng.spawn("smc"),
             tracer=self.tracer,
             metrics=self.metrics,
+            precompute=self.precompute,
         )
         self.executor = QueryExecutor(self.store, self.ctx, schema)
 
         # DLA-side identity: credential authority, membership, signatures.
         group = SchnorrGroup.generate(256, self.rng.spawn("group"))
-        self.credential_authority = CredentialAuthority(group, self.rng.spawn("ca"))
+        self.credential_authority = CredentialAuthority(
+            group, self.rng.spawn("ca"), precompute=self.precompute
+        )
         self.node_credentials: dict[str, NodeCredentials] = {}
         founder_id = plan.node_ids[0]
         founder = self.credential_authority.enroll(f"real:{founder_id}")
@@ -180,6 +192,42 @@ class ConfidentialAuditingService:
         self.node_shares: dict[str, ThresholdKeyShare] = {
             node_id: share for node_id, share in zip(plan.node_ids, shares)
         }
+
+    # -- offline phase (repro.precompute) ------------------------------------------
+
+    def warm_pools(self, include_witnesses: bool = True) -> dict:
+        """Run the offline phase: fill every input-independent pool.
+
+        Warms the Pohlig-Hellman keypair, affine- and monotone-blinding
+        pools for this deployment's SMC prime and node ids, the three
+        blind-signature nonce pools of the credential authority's group,
+        and (``include_witnesses``) the accumulator witness bases for every
+        fragment currently stored.  Shamir coefficient pools are warmed
+        lazily per scheme — the field prime is data-dependent.
+
+        Idempotent and safe to call while queries run; returns
+        :meth:`~repro.precompute.PrecomputeManager.pool_snapshot`.
+        """
+        self.precompute.warm_smc(self.ctx.prime, list(self.plan.node_ids))
+        group = self.credential_authority.group
+        authority_y = self.credential_authority.public_key
+        self.precompute.warm_blind(group.p, group.q, group.g, "signer")
+        self.precompute.warm_blind(group.p, group.q, group.g, "client-alpha")
+        self.precompute.warm_blind(group.p, group.q, authority_y, "client-beta")
+        if include_witnesses:
+            from repro.crypto.accumulator import digest_to_exponent
+
+            params = self.store.accumulator.params
+            for node_store in self.store.stores.values():
+                exponents = [
+                    digest_to_exponent(
+                        node_store.local_fragment(glsn).canonical_bytes()
+                    )
+                    for glsn in node_store.glsns
+                ]
+                if exponents:
+                    self.precompute.warm_witness(params.n, params.x0, exponents)
+        return self.precompute.pool_snapshot()
 
     # -- application-node lifecycle ------------------------------------------------
 
@@ -370,6 +418,8 @@ class ConfidentialAuditingService:
                     "messages": cost.messages,
                     "bytes": cost.bytes,
                     "modexp": cost.modexp,
+                    "modexp_offline": cost.offline_modexp,
+                    "modexp_online": cost.online_modexp,
                     "dropped": cost.dropped,
                 }
             )
@@ -433,10 +483,12 @@ class ConfidentialAuditingService:
             deadline = Deadline.after(timeout)
             if batched:
                 return run_batched_integrity_round(
-                    self.store, net=self._fresh_net(), deadline=deadline
+                    self.store, net=self._fresh_net(), deadline=deadline,
+                    precompute=self.precompute, crypto=self.integrity_ops,
                 )
             return run_integrity_round(
-                self.store, net=self._fresh_net(), deadline=deadline
+                self.store, net=self._fresh_net(), deadline=deadline,
+                precompute=self.precompute, crypto=self.integrity_ops,
             )
         return IntegrityChecker(self.store, metrics=self.metrics).check_all()
 
@@ -446,8 +498,13 @@ class ConfidentialAuditingService:
         """Crypto-op and leakage accounting since service creation."""
         return {
             "crypto_ops": self.ctx.crypto_ops.snapshot(),
+            "integrity_ops": self.integrity_ops.snapshot(),
             "leakage_events": len(self.ctx.leakage.events),
             "leakage_categories": sorted(self.ctx.leakage.categories()),
+            "precompute": {
+                "hit_rate": self.precompute.hit_rate(),
+                "offline_ops": self.precompute.offline_ops.snapshot(),
+            },
         }
 
     def membership_summary(self) -> dict:

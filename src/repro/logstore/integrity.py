@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.cache import LruCache
-from repro.crypto.accumulator import OneWayAccumulator
+from repro.crypto.accumulator import OneWayAccumulator, digest_to_exponent
 from repro.errors import IntegrityError, ProtocolAbortError, RingFailoverError
 from repro.logstore.store import DistributedLogStore, FragmentStore
 from repro.net.message import Message
@@ -166,6 +166,15 @@ class IntegrityNode:
 
     Each instance wraps one node's :class:`FragmentStore`.  The initiator
     calls :meth:`start_check`; the token visits every node once and returns.
+
+    ``precompute`` (a :class:`~repro.precompute.PrecomputeManager`) serves
+    the *initiator's* folds from precomputed witness bases: the first hop
+    of every token is ``pow(x0, e, n)`` for the node's own fragment digest
+    ``e`` — pure per (fragment, epoch), so it can be produced while the
+    cluster is idle.  Later hops fold an in-flight token value and always
+    stay online.  ``crypto`` (a shared
+    :class:`~repro.net.stats.CryptoOpCounter`) attributes every fold to
+    the offline or online phase; the two sum to the pre-split total.
     """
 
     def __init__(
@@ -174,6 +183,8 @@ class IntegrityNode:
         store: FragmentStore,
         accumulator: OneWayAccumulator,
         ring: list[str],
+        precompute=None,
+        crypto=None,
     ) -> None:
         self.node_id = node_id
         self.store = store
@@ -181,13 +192,34 @@ class IntegrityNode:
         # Order is honoured (quasi-commutativity makes any order valid),
         # so a failover supervisor can hand in a ring that avoids bad links.
         self.ring = list(ring)
+        self.precompute = precompute
+        self.crypto = crypto
         self.state = _RingState()
+
+    def _count_folds(self, count: int, offline: int = 0) -> None:
+        if self.crypto is None or count == 0:
+            return
+        self.crypto.add(f"{self.node_id}.modexp", count)
+        self.crypto.add("total.modexp", count)
+        if offline:
+            self.crypto.add("offline.modexp", offline)
+
+    def _initial_fold(self, exponent: int) -> int:
+        """``pow(x0, exponent, n)`` — from the witness pool when possible."""
+        params = self.accumulator.params
+        if self.precompute is not None:
+            value, pooled = self.precompute.witness_base(
+                params.n, params.x0, exponent
+            )
+            self._count_folds(1, offline=int(pooled))
+            return value
+        self._count_folds(1)
+        return pow(params.x0, exponent, params.n)
 
     def start_check(self, transport, glsn: int) -> None:
         """Initiate a circulation for one glsn (we fold our fragment first)."""
-        value = self.accumulator.step(
-            self.accumulator.params.x0,
-            self.store.local_fragment(glsn).canonical_bytes(),
+        value = self._initial_fold(
+            digest_to_exponent(self.store.local_fragment(glsn).canonical_bytes())
         )
         remaining = [n for n in self.ring if n != self.node_id]
         self._forward(transport, glsn, value, remaining)
@@ -217,6 +249,7 @@ class IntegrityNode:
                 msg.payload["value"],
                 self.store.local_fragment(glsn).canonical_bytes(),
             )
+            self._count_folds(1)
             remaining = msg.payload["remaining"]
             origin = msg.payload["origin"]
             if remaining:
@@ -268,10 +301,17 @@ class IntegrityNode:
 
     def start_batch_check(self, transport, glsns: list[int]) -> None:
         """One token carrying every glsn's running value (we fold first)."""
-        x0 = self.accumulator.params.x0
-        values = self.accumulator.step_many(
-            [x0] * len(glsns), self._fragment_bytes(glsns)
-        )
+        if self.precompute is not None:
+            values = [
+                self._initial_fold(digest_to_exponent(fragment))
+                for fragment in self._fragment_bytes(glsns)
+            ]
+        else:
+            x0 = self.accumulator.params.x0
+            values = self.accumulator.step_many(
+                [x0] * len(glsns), self._fragment_bytes(glsns)
+            )
+            self._count_folds(len(glsns))
         remaining = [n for n in self.ring if n != self.node_id]
         self._forward_batch(transport, glsns, values, remaining)
 
@@ -300,6 +340,7 @@ class IntegrityNode:
         values = self.accumulator.step_many(
             msg.payload["values"], self._fragment_bytes(glsns)
         )
+        self._count_folds(len(glsns))
         remaining = msg.payload["remaining"]
         origin = msg.payload["origin"]
         if remaining:
@@ -334,9 +375,15 @@ class IntegrityNode:
 
     def start_combined_check(self, transport, glsns: list[int]) -> None:
         """One token, one value: each hop folds ALL its fragments at once."""
-        value = self.accumulator.fold_product(
-            self.accumulator.params.x0, self._fragment_bytes(glsns)
-        )
+        if self.precompute is not None:
+            value = self._initial_fold(
+                self.accumulator.exponent_product(self._fragment_bytes(glsns))
+            )
+        else:
+            value = self.accumulator.fold_product(
+                self.accumulator.params.x0, self._fragment_bytes(glsns)
+            )
+            self._count_folds(1)
         remaining = [n for n in self.ring if n != self.node_id]
         self._forward_combined(transport, glsns, value, remaining)
 
@@ -365,6 +412,7 @@ class IntegrityNode:
         value = self.accumulator.fold_product(
             msg.payload["value"], self._fragment_bytes(glsns)
         )
+        self._count_folds(1)
         remaining = msg.payload["remaining"]
         origin = msg.payload["origin"]
         if remaining:
@@ -407,6 +455,8 @@ def _ring_setup(
     glsns: list[int] | None,
     initiator: str | None,
     net: SimNetwork | None,
+    precompute=None,
+    crypto=None,
 ) -> tuple[SimNetwork, dict[str, IntegrityNode], str, list[int]]:
     """Common bootstrap: build and register one IntegrityNode per store."""
     net = net or SimNetwork()
@@ -416,7 +466,8 @@ def _ring_setup(
         raise ProtocolAbortError(f"initiator {initiator!r} is not a DLA node")
     nodes = {
         node_id: IntegrityNode(
-            node_id, store.stores[node_id], store.accumulator, ring
+            node_id, store.stores[node_id], store.accumulator, ring,
+            precompute=precompute, crypto=crypto,
         )
         for node_id in ring
     }
@@ -445,6 +496,8 @@ def _supervised_round(
     net: SimNetwork,
     deadline: Deadline | None,
     mode: str,
+    precompute=None,
+    crypto=None,
 ):
     """Failover-supervised §4.1 ring (any of the three token modes).
 
@@ -468,7 +521,10 @@ def _supervised_round(
         nodes_box.clear()
         nodes_box.update(
             {
-                nid: IntegrityNode(nid, store.stores[nid], store.accumulator, order)
+                nid: IntegrityNode(
+                    nid, store.stores[nid], store.accumulator, order,
+                    precompute=precompute, crypto=crypto,
+                )
                 for nid in alive
             }
         )
@@ -515,6 +571,8 @@ def run_integrity_round(
     initiator: str | None = None,
     net: SimNetwork | None = None,
     deadline: Deadline | None = None,
+    precompute=None,
+    crypto=None,
 ) -> list[IntegrityReport]:
     """Run the ring protocol for each glsn on a simulated network.
 
@@ -522,12 +580,17 @@ def run_integrity_round(
     Circulates one token per glsn — O(nodes × glsns) messages; see
     :func:`run_batched_integrity_round` for the O(nodes) form.  On a
     resilient network the ring is failover-supervised (see
-    :func:`_supervised_round`).
+    :func:`_supervised_round`).  ``precompute``/``crypto`` are forwarded
+    to every :class:`IntegrityNode` (witness-base pools, phase-attributed
+    fold counts).
     """
-    net, nodes, initiator, targets = _ring_setup(store, glsns, initiator, net)
+    net, nodes, initiator, targets = _ring_setup(
+        store, glsns, initiator, net, precompute=precompute, crypto=crypto
+    )
     if net.reliable:
         outcome = _supervised_round(
-            store, targets, initiator, net, deadline, "per-glsn"
+            store, targets, initiator, net, deadline, "per-glsn",
+            precompute=precompute, crypto=crypto,
         )
         reports = outcome.values["reports"]
         return _degrade(reports, outcome.skipped) if outcome.degraded else reports
@@ -543,6 +606,8 @@ def run_batched_integrity_round(
     initiator: str | None = None,
     net: SimNetwork | None = None,
     deadline: Deadline | None = None,
+    precompute=None,
+    crypto=None,
 ) -> list[IntegrityReport]:
     """Batched §4.1 ring: one multi-glsn token, one message per hop.
 
@@ -553,12 +618,15 @@ def run_batched_integrity_round(
     :func:`run_integrity_round` — same observed accumulators, same
     reports — only the transcript's message count changes.
     """
-    net, nodes, initiator, targets = _ring_setup(store, glsns, initiator, net)
+    net, nodes, initiator, targets = _ring_setup(
+        store, glsns, initiator, net, precompute=precompute, crypto=crypto
+    )
     if not targets:
         return []
     if net.reliable:
         outcome = _supervised_round(
-            store, targets, initiator, net, deadline, "batched"
+            store, targets, initiator, net, deadline, "batched",
+            precompute=precompute, crypto=crypto,
         )
         reports = outcome.values["reports"]
         return _degrade(reports, outcome.skipped) if outcome.degraded else reports
@@ -574,6 +642,8 @@ def run_combined_integrity_round(
     net: SimNetwork | None = None,
     localize: bool = True,
     deadline: Deadline | None = None,
+    precompute=None,
+    crypto=None,
 ) -> BatchIntegrityReport:
     """Single-pow-per-hop ring over the write path's chain anchor.
 
@@ -599,7 +669,8 @@ def run_combined_integrity_round(
     )
     if anchor is None or not targets:
         reports = run_batched_integrity_round(
-            store, glsns=targets, initiator=initiator, net=net, deadline=deadline
+            store, glsns=targets, initiator=initiator, net=net, deadline=deadline,
+            precompute=precompute, crypto=crypto,
         )
         skipped = tuple(
             sorted({n for r in reports for n in getattr(r, "skipped_nodes", ())})
@@ -613,10 +684,13 @@ def run_combined_integrity_round(
             skipped_nodes=skipped,
         )
     net = net or SimNetwork()
-    _, nodes, first, targets = _ring_setup(store, targets, initiator, net)
+    _, nodes, first, targets = _ring_setup(
+        store, targets, initiator, net, precompute=precompute, crypto=crypto
+    )
     if net.reliable:
         outcome = _supervised_round(
-            store, targets, first, net, deadline, "combined"
+            store, targets, first, net, deadline, "combined",
+            precompute=precompute, crypto=crypto,
         )
         verdict = outcome.values["combined"]
         if outcome.degraded:
@@ -634,7 +708,8 @@ def run_combined_integrity_round(
     if verdict.ok or not localize:
         return verdict
     reports = run_batched_integrity_round(
-        store, glsns=targets, initiator=initiator, net=net, deadline=deadline
+        store, glsns=targets, initiator=initiator, net=net, deadline=deadline,
+        precompute=precompute, crypto=crypto,
     )
     return BatchIntegrityReport(
         glsns=verdict.glsns,

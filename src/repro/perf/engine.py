@@ -43,6 +43,8 @@ __all__ = [
     "set_default_engine",
     "shutdown_shared_pool",
     "ensure_shutdown_at_exit",
+    "register_shutdown_hook",
+    "unregister_shutdown_hook",
 ]
 
 ENGINE_ENV_VAR = "REPRO_PERF_ENGINE"
@@ -218,23 +220,66 @@ def shutdown_shared_pool() -> None:
             _shared_pool = None
 
 
+# Callables other perf consumers register to be torn down *before* the
+# worker pool: the precompute refill worker is a non-daemon thread whose
+# fills may be mid-flight inside the pool, so it must stop/join first or
+# pytest and the demo CLI hang at interpreter exit.
+_shutdown_hooks: list = []
+_shutdown_hooks_lock = threading.Lock()
+
+
+def register_shutdown_hook(hook) -> None:
+    """Run ``hook()`` ahead of the shared pool at process shutdown.
+
+    Idempotent per hook (comparing equal hooks registers once).  Hooks
+    must themselves be idempotent: explicit shutdowns before exit are
+    fine, and the atexit pass runs whatever is still registered.
+    """
+    with _shutdown_hooks_lock:
+        if hook not in _shutdown_hooks:
+            _shutdown_hooks.append(hook)
+
+
+def unregister_shutdown_hook(hook) -> None:
+    with _shutdown_hooks_lock:
+        if hook in _shutdown_hooks:
+            _shutdown_hooks.remove(hook)
+
+
+def _run_shutdown_hooks() -> None:
+    with _shutdown_hooks_lock:
+        hooks = list(_shutdown_hooks)
+    for hook in hooks:
+        try:
+            hook()
+        except Exception:  # pragma: no cover - teardown is best-effort
+            pass
+
+
+def _shutdown_at_exit() -> None:
+    """The atexit target: stop registered workers, then the pool."""
+    _run_shutdown_hooks()
+    shutdown_shared_pool()
+
+
 _atexit_registered = False
 _atexit_lock = threading.Lock()
 
 
 def ensure_shutdown_at_exit() -> None:
-    """Register :func:`shutdown_shared_pool` with :mod:`atexit`, once.
+    """Register :func:`_shutdown_at_exit` with :mod:`atexit`, once.
 
     Without this, a process that used the shared pool but never called
     ``shutdown_shared_pool`` explicitly could hang at interpreter exit
-    waiting on worker processes (seen with short-lived benchmark runs).
-    Registration is idempotent; the hook itself is too, so explicit
-    shutdowns before exit are fine.
+    waiting on worker processes (seen with short-lived benchmark runs) —
+    or, since the offline/online split, on a live background refill
+    thread.  Registration is idempotent; the hook itself is too, so
+    explicit shutdowns before exit are fine.
     """
     global _atexit_registered
     with _atexit_lock:
         if not _atexit_registered:
-            atexit.register(shutdown_shared_pool)
+            atexit.register(_shutdown_at_exit)
             _atexit_registered = True
 
 

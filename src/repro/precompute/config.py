@@ -1,0 +1,111 @@
+"""Knobs and kill switch for the correlated-randomness pools.
+
+Mirrors the :mod:`repro.cache` idiom: one coarse on/off environment
+variable (``REPRO_PRECOMPUTE``), a process-wide programmatic override for
+tests, and a handful of sizing knobs read once per manager:
+
+* ``REPRO_PRECOMPUTE`` — ``off``/``0``/``false`` disables every pool;
+  draws fall back to the exact inline computation (bitwise-identical
+  results, same RNG streams consumed).
+* ``REPRO_PRECOMPUTE_POOL_SIZE`` — target depth per pool (the high
+  watermark a ``warm()`` or refill fills up to).
+* ``REPRO_PRECOMPUTE_LOW_WATER`` — depth at which a pool asks the
+  background worker for a refill.
+* ``REPRO_PRECOMPUTE_REFILL_BATCH`` — entries produced per refill step.
+* ``REPRO_PRECOMPUTE_WORKER`` — ``on`` starts the background refill
+  thread with every manager (default off: fills happen via ``warm()``
+  or on demand).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PRECOMPUTE_ENV_VAR",
+    "POOL_SIZE_ENV_VAR",
+    "LOW_WATER_ENV_VAR",
+    "REFILL_BATCH_ENV_VAR",
+    "WORKER_ENV_VAR",
+    "PrecomputeConfig",
+    "precompute_enabled",
+    "set_precompute_enabled",
+]
+
+PRECOMPUTE_ENV_VAR = "REPRO_PRECOMPUTE"
+POOL_SIZE_ENV_VAR = "REPRO_PRECOMPUTE_POOL_SIZE"
+LOW_WATER_ENV_VAR = "REPRO_PRECOMPUTE_LOW_WATER"
+REFILL_BATCH_ENV_VAR = "REPRO_PRECOMPUTE_REFILL_BATCH"
+WORKER_ENV_VAR = "REPRO_PRECOMPUTE_WORKER"
+
+_OFF_VALUES = {"off", "0", "false", "no", "disabled"}
+_ON_VALUES = {"on", "1", "true", "yes", "enabled"}
+
+_enabled_override: bool | None = None
+_override_lock = threading.Lock()
+
+
+def precompute_enabled() -> bool:
+    """Is the offline/online split live? (env var, or a test override)."""
+    with _override_lock:
+        if _enabled_override is not None:
+            return _enabled_override
+    raw = os.environ.get(PRECOMPUTE_ENV_VAR, "").strip().lower()
+    if raw in _OFF_VALUES:
+        return False
+    return True
+
+
+def set_precompute_enabled(flag: bool | None) -> None:
+    """Force pools on/off programmatically; ``None`` re-reads the env."""
+    global _enabled_override
+    with _override_lock:
+        _enabled_override = flag
+
+
+def _env_int(var: str, default: int, minimum: int) -> int:
+    raw = os.environ.get(var)
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{var}={raw!r} is not an integer") from None
+    if value < minimum:
+        raise ConfigurationError(f"{var} must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class PrecomputeConfig:
+    """Sizing for every pool one manager owns."""
+
+    pool_size: int = 64
+    low_water: int = 16
+    refill_batch: int = 32
+    worker: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 1:
+            raise ConfigurationError("pool_size must be positive")
+        if not 0 <= self.low_water <= self.pool_size:
+            raise ConfigurationError("low_water must lie in [0, pool_size]")
+        if self.refill_batch < 1:
+            raise ConfigurationError("refill_batch must be positive")
+
+    @classmethod
+    def from_env(cls) -> "PrecomputeConfig":
+        pool_size = _env_int(POOL_SIZE_ENV_VAR, 64, 1)
+        low_water = _env_int(LOW_WATER_ENV_VAR, min(16, pool_size), 0)
+        refill_batch = _env_int(REFILL_BATCH_ENV_VAR, 32, 1)
+        worker_raw = os.environ.get(WORKER_ENV_VAR, "").strip().lower()
+        return cls(
+            pool_size=pool_size,
+            low_water=min(low_water, pool_size),
+            refill_batch=refill_batch,
+            worker=worker_raw in _ON_VALUES,
+        )

@@ -1,0 +1,242 @@
+"""Thread-safe pools of precomputed correlated randomness.
+
+Two shapes of precomputation live here:
+
+* :class:`Pool` — a FIFO of *consumable* entries (Pohlig-Hellman key
+  pairs, blinding factors, Shamir polynomial tails, Schnorr nonce
+  commitments).  Each entry is used by exactly one protocol session and
+  never reused — the correlated-randomness contract.
+* :class:`WitnessBaseStore` — a bounded memo of *reusable* accumulator
+  bases ``pow(x0, e, n)``.  A witness base is pure in the fragment's
+  digest exponent, so it is keyed by that exponent: an epoch roll or a
+  tampered fragment changes the digest, lands on a different key, and
+  the stale base simply ages out (the same key-carries-the-version trick
+  :mod:`repro.cache` uses).
+
+Entry production happens under a dedicated fill lock (serializing the
+pool's deterministic RNG stream) while draws only take the entry lock —
+so concurrent queries from :mod:`repro.sched` never wait on a refill.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Callable
+
+from repro.precompute.config import precompute_enabled
+
+__all__ = ["Pool", "WitnessBaseStore"]
+
+# Matches repro.obs.metrics.BATCH_BUCKETS but kept literal so the pool
+# module stays importable without the registry.
+_REFILL_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class _PoolMetrics:
+    """The per-pool instrument set the obs layer exports."""
+
+    def __init__(self, registry, pool_name: str) -> None:
+        labels = {"pool": pool_name}
+        self.hits = registry.counter(
+            "repro_precompute_hits_total",
+            help="draws served from a precomputed pool",
+            labels=labels,
+        )
+        self.misses = registry.counter(
+            "repro_precompute_misses_total",
+            help="draws that fell back to inline computation",
+            labels=labels,
+        )
+        self.depth = registry.gauge(
+            "repro_precompute_pool_depth",
+            help="entries currently available in the pool",
+            labels=labels,
+        )
+        self.refill_batch = registry.histogram(
+            "repro_precompute_refill_batch_size",
+            buckets=_REFILL_BUCKETS,
+            help="entries produced per pool refill",
+            labels=labels,
+        )
+
+
+class Pool:
+    """One pool of one material kind under one parameter key.
+
+    ``produce_batch(count, rng, engine)`` returns ``(entries, modexp)``:
+    the freshly generated entries (in RNG-stream order) and how many
+    modular exponentiations producing them cost — the offline work the
+    online phase no longer pays.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        produce_batch: Callable[[int, Any, Any], tuple[list[Any], int]],
+        rng,
+        *,
+        pool_size: int,
+        low_water: int,
+        metrics=None,
+    ) -> None:
+        self.name = name
+        self.pool_size = pool_size
+        self.low_water = low_water
+        self._produce_batch = produce_batch
+        self._rng = rng
+        self._entries: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._fill_lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.produced = 0
+        self.refills = 0
+        self.offline_modexp = 0
+        self._metrics = _PoolMetrics(metrics, name) if metrics is not None else None
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def needs_refill(self) -> bool:
+        return precompute_enabled() and self.depth < self.low_water
+
+    def draw(self) -> Any | None:
+        """Pop the oldest entry, or ``None`` when the pool is dry."""
+        with self._lock:
+            if self._entries:
+                entry = self._entries.popleft()
+                self.hits += 1
+                if self._metrics is not None:
+                    self._metrics.hits.inc()
+                    self._metrics.depth.set(len(self._entries))
+                return entry
+            self.misses += 1
+        if self._metrics is not None:
+            self._metrics.misses.inc()
+        return None
+
+    def fill(self, count: int | None = None, engine=None) -> int:
+        """Produce entries up to the high watermark; returns how many.
+
+        ``count`` caps one fill step (the refill batch); ``None`` tops the
+        pool all the way up.  Production runs under the fill lock so the
+        pool's RNG stream stays sequential no matter which thread refills.
+        """
+        with self._fill_lock:
+            missing = self.pool_size - len(self._entries)
+            if count is not None:
+                missing = min(missing, count)
+            if missing <= 0:
+                return 0
+            entries, modexp = self._produce_batch(missing, self._rng, engine)
+            with self._lock:
+                self._entries.extend(entries)
+                self.produced += len(entries)
+                self.refills += 1
+                self.offline_modexp += modexp
+                depth = len(self._entries)
+            if self._metrics is not None:
+                self._metrics.refill_batch.observe(len(entries))
+                self._metrics.depth.set(depth)
+            return len(entries)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "depth": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "produced": self.produced,
+                "refills": self.refills,
+                "offline_modexp": self.offline_modexp,
+            }
+
+
+class WitnessBaseStore:
+    """Bounded memo of accumulator bases ``pow(x0, exponent, n)``.
+
+    Unlike :class:`Pool` entries these are not consumed: the same
+    fragment is re-verified every integrity round until its epoch rolls.
+    Eviction is LRU so a long-lived cluster with many epochs keeps only
+    the live generation warm.
+    """
+
+    def __init__(self, name: str, n: int, x0: int, *, max_entries: int = 4096,
+                 metrics=None) -> None:
+        self.name = name
+        self.n = n
+        self.x0 = x0
+        self.max_entries = max_entries
+        self._bases: OrderedDict[int, int] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.produced = 0
+        self.refills = 0
+        self.offline_modexp = 0
+        self._metrics = _PoolMetrics(metrics, name) if metrics is not None else None
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._bases)
+
+    def get(self, exponent: int) -> int | None:
+        with self._lock:
+            value = self._bases.get(exponent)
+            if value is not None:
+                self._bases.move_to_end(exponent)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if self._metrics is not None:
+            (self._metrics.hits if value is not None else self._metrics.misses).inc()
+        return value
+
+    def put(self, exponent: int, value: int) -> None:
+        """Insert one base computed online (a miss the next round will hit)."""
+        with self._lock:
+            self._bases[exponent] = value
+            self._bases.move_to_end(exponent)
+            while len(self._bases) > self.max_entries:
+                self._bases.popitem(last=False)
+            depth = len(self._bases)
+        if self._metrics is not None:
+            self._metrics.depth.set(depth)
+
+    def warm(self, exponents: list[int], engine) -> int:
+        """Precompute any missing bases in one batched engine call."""
+        with self._lock:
+            todo = [e for e in dict.fromkeys(exponents) if e not in self._bases]
+        if not todo:
+            return 0
+        values = engine.pow_many([self.x0] * len(todo), todo, self.n)
+        with self._lock:
+            for exponent, value in zip(todo, values):
+                self._bases[exponent] = value
+                self._bases.move_to_end(exponent)
+            while len(self._bases) > self.max_entries:
+                self._bases.popitem(last=False)
+            self.produced += len(todo)
+            self.refills += 1
+            self.offline_modexp += len(todo)
+            depth = len(self._bases)
+        if self._metrics is not None:
+            self._metrics.refill_batch.observe(len(todo))
+            self._metrics.depth.set(depth)
+        return len(todo)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "depth": len(self._bases),
+                "hits": self.hits,
+                "misses": self.misses,
+                "produced": self.produced,
+                "refills": self.refills,
+                "offline_modexp": self.offline_modexp,
+            }

@@ -396,6 +396,7 @@ class QueryScheduler:
             tracer=service.tracer,
             metrics=service.metrics,
             encoder=service.ctx.encoder,
+            precompute=service.precompute,
         )
         executor = QueryExecutor(
             service.store,

@@ -1,0 +1,148 @@
+"""Unit tests for the correlated-randomness pool primitives."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.crypto.rng import DeterministicRng
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.engine import SerialEngine
+from repro.precompute.pool import Pool, WitnessBaseStore
+
+
+def counting_producer(counter=None):
+    """A producer whose entries are consecutive integers."""
+    state = {"next": 0, "calls": 0}
+
+    def produce(count, rng, engine):
+        state["calls"] += 1
+        entries = list(range(state["next"], state["next"] + count))
+        state["next"] += count
+        return entries, 0
+
+    produce.state = state
+    return produce
+
+
+class TestPool:
+    def make(self, pool_size=8, low_water=3, metrics=None):
+        return Pool(
+            "test-pool",
+            counting_producer(),
+            DeterministicRng(b"pool"),
+            pool_size=pool_size,
+            low_water=low_water,
+            metrics=metrics,
+        )
+
+    def test_draw_from_empty_is_miss(self):
+        pool = self.make()
+        assert pool.draw() is None
+        assert pool.snapshot()["misses"] == 1
+
+    def test_fill_tops_to_pool_size(self):
+        pool = self.make(pool_size=8)
+        assert pool.fill() == 8
+        assert pool.depth == 8
+        # Refilling a full pool produces nothing.
+        assert pool.fill() == 0
+
+    def test_fill_respects_count_cap(self):
+        pool = self.make(pool_size=8)
+        assert pool.fill(3) == 3
+        assert pool.depth == 3
+
+    def test_fifo_draw_order(self):
+        pool = self.make()
+        pool.fill(4)
+        assert [pool.draw() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_needs_refill_watermark(self):
+        pool = self.make(pool_size=8, low_water=3)
+        pool.fill()
+        while pool.depth >= 3:
+            assert not pool.needs_refill
+            pool.draw()
+        assert pool.needs_refill
+
+    def test_snapshot_counters(self):
+        pool = self.make(pool_size=4)
+        pool.fill()
+        pool.draw()
+        pool.draw()
+        snap = pool.snapshot()
+        assert snap == {
+            "depth": 2, "hits": 2, "misses": 0,
+            "produced": 4, "refills": 1, "offline_modexp": 0,
+        }
+
+    def test_concurrent_draws_never_duplicate(self):
+        pool = self.make(pool_size=64, low_water=0)
+        pool.fill()
+        drawn, lock = [], threading.Lock()
+
+        def worker():
+            got = []
+            for _ in range(16):
+                entry = pool.draw()
+                if entry is not None:
+                    got.append(entry)
+            with lock:
+                drawn.extend(got)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(drawn) == 64
+        assert len(set(drawn)) == 64  # every entry served exactly once
+
+    def test_metrics_instruments(self):
+        registry = MetricsRegistry()
+        pool = self.make(pool_size=4, metrics=registry)
+        pool.fill()
+        pool.draw()
+        text = registry.render_prometheus()
+        assert 'repro_precompute_pool_depth{pool="test-pool"} 3' in text
+        assert 'repro_precompute_hits_total{pool="test-pool"} 1' in text
+        assert "repro_precompute_refill_batch_size" in text
+
+
+class TestWitnessBaseStore:
+    def make(self, metrics=None, max_entries=4096):
+        # Tiny RSA-style modulus is fine: we only exercise bookkeeping.
+        return WitnessBaseStore(
+            "witness:test", 3233, 5, metrics=metrics, max_entries=max_entries
+        )
+
+    def test_get_miss_then_put_then_hit(self):
+        store = self.make()
+        assert store.get(17) is None
+        store.put(17, pow(5, 17, 3233))
+        assert store.get(17) == pow(5, 17, 3233)
+        snap = store.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+
+    def test_warm_batches_and_dedupes(self):
+        store = self.make()
+        produced = store.warm([3, 7, 3, 11], engine=SerialEngine())
+        assert produced == 3
+        assert store.get(7) == pow(5, 7, 3233)
+        # Warming again with known exponents produces nothing new.
+        assert store.warm([3, 7], engine=SerialEngine()) == 0
+
+    def test_lru_bound(self):
+        store = self.make(max_entries=2)
+        store.warm([1, 2], engine=SerialEngine())
+        assert store.get(1) is not None  # refreshes 1
+        store.put(3, pow(5, 3, 3233))  # evicts 2
+        assert store.get(2) is None
+        assert store.get(1) is not None and store.get(3) is not None
+
+    def test_distinct_exponents_are_distinct_keys(self):
+        # Key-carries-the-version: a tampered/rolled fragment changes its
+        # digest exponent and can never alias a stale cached base.
+        store = self.make()
+        store.warm([100], engine=SerialEngine())
+        assert store.get(101) is None

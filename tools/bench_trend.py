@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Performance-trajectory report and regression gate for BENCH_*.json.
+
+Stdlib only (CI installs nothing for tooling).  Each experiment commits
+its results file at the repo root; this script gives the committed
+numbers a memory:
+
+* **default** — print the perf trajectory: one row per experiment with
+  its headline metric, so a reviewer sees the repo's performance story
+  at a glance without opening five JSON files;
+* **--check** — regression gate: compare each headline against the same
+  file at a baseline (a git ref, default ``HEAD``, or a directory) and
+  exit nonzero if any headline *regressed* beyond tolerance.
+
+Headline metrics are speedup ratios (higher is better) except P4's
+resilience overhead, which is a percentage where lower is better.
+Ratios regress when they drop more than ``--tolerance`` (default 10%)
+relative to baseline; percentage-point metrics regress when they rise
+more than ``--slack-points`` (default 5.0) absolute — relative deltas
+are meaningless around zero overhead.
+
+Experiments present on only one side are reported but never fail the
+gate (a new benchmark must not need a baseline to land).
+
+Usage::
+
+    python tools/bench_trend.py                       # trajectory table
+    python tools/bench_trend.py --check               # vs git HEAD
+    python tools/bench_trend.py --check --baseline-ref origin/main
+    python tools/bench_trend.py --check --baseline-dir /path/to/old
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+# file name -> (experiment, headline label, unit, extractor).
+# unit "x" = speedup ratio, higher is better; unit "pct" = overhead
+# percentage points, lower is better.
+HEADLINES = {
+    "BENCH_p1.json": (
+        "P1 parallel exponentiation",
+        "best engine speedup",
+        "x",
+        lambda d: max(e["speedup"] for e in d["engines"]),
+    ),
+    "BENCH_p3.json": (
+        "P3 incremental recomputation",
+        "warm-cache query speedup",
+        "x",
+        lambda d: d["query"]["speedup"],
+    ),
+    "BENCH_p4.json": (
+        "P4 fault-tolerant protocols",
+        "reliable-delivery overhead",
+        "pct",
+        lambda d: d["overhead"]["overhead_pct"],
+    ),
+    "BENCH_p5.json": (
+        "P5 concurrent scheduler",
+        "throughput speedup",
+        "x",
+        lambda d: d["throughput"]["speedup"],
+    ),
+    "BENCH_p6.json": (
+        "P6 offline/online split",
+        "online-phase speedup",
+        "x",
+        lambda d: d["online_phase"]["speedup"],
+    ),
+}
+
+
+def load_current(name: str) -> dict | None:
+    path = REPO / name
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def load_baseline(name: str, ref: str, directory: str | None) -> dict | None:
+    if directory is not None:
+        path = Path(directory) / name
+        if not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+    proc = subprocess.run(
+        ["git", "-C", str(REPO), "show", f"{ref}:{name}"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:  # file absent at that ref
+        return None
+    return json.loads(proc.stdout)
+
+
+def headline(name: str, data: dict) -> float | None:
+    extractor = HEADLINES[name][3]
+    try:
+        return float(extractor(data))
+    except (KeyError, IndexError, TypeError, ValueError):
+        return None
+
+
+def fmt(value: float | None, unit: str) -> str:
+    if value is None:
+        return "—"
+    return f"{value:.2f}{'x' if unit == 'x' else ' pts'}"
+
+
+def print_table(rows: list[tuple[str, ...]], headers: tuple[str, ...]) -> None:
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: exit 1 if a headline regressed")
+    parser.add_argument("--baseline-ref", default="HEAD",
+                        help="git ref holding baseline BENCH files (default HEAD)")
+    parser.add_argument("--baseline-dir", default=None,
+                        help="directory of baseline BENCH files (overrides the ref)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative drop for speedup headlines (default 0.10)")
+    parser.add_argument("--slack-points", type=float, default=5.0,
+                        help="allowed absolute rise for percentage headlines (default 5.0)")
+    args = parser.parse_args(argv)
+
+    rows = []
+    regressions = []
+    for name, (experiment, label, unit, _) in sorted(HEADLINES.items()):
+        current = load_current(name)
+        value = headline(name, current) if current else None
+        if not args.check:
+            rows.append((experiment, label, fmt(value, unit)))
+            continue
+
+        base = load_baseline(name, args.baseline_ref, args.baseline_dir)
+        base_value = headline(name, base) if base else None
+        verdict = "ok"
+        if value is None or base_value is None:
+            verdict = "skipped (one side missing)"
+        elif unit == "x":
+            if value < base_value * (1.0 - args.tolerance):
+                verdict = f"REGRESSED >{args.tolerance:.0%}"
+                regressions.append((name, label, base_value, value, unit))
+        else:  # lower-is-better percentage points
+            if value > base_value + args.slack_points:
+                verdict = f"REGRESSED >{args.slack_points:g} pts"
+                regressions.append((name, label, base_value, value, unit))
+        rows.append((
+            experiment, label, fmt(base_value, unit), fmt(value, unit), verdict,
+        ))
+
+    if args.check:
+        print_table(rows, ("experiment", "headline", "baseline", "current", "verdict"))
+        for name, label, base_value, value, unit in regressions:
+            print(
+                f"\nFAIL {name}: {label} regressed "
+                f"{fmt(base_value, unit)} -> {fmt(value, unit)}",
+                file=sys.stderr,
+            )
+        return 1 if regressions else 0
+
+    print_table(rows, ("experiment", "headline", "value"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
