@@ -83,21 +83,45 @@ def run_demo(prime_bits: int, seed: str, trace_out: str | None = None) -> int:
     print(f"\n== integrity == {clean}/{len(receipts)} records verified")
     print(f"\n== leakage == {service.cost_snapshot()['leakage_categories']}")
 
+    observatory = service.observatory.report()
+    c_dla = observatory["c_dla"]
+    print(f"\n== confidentiality observatory == "
+          f"C_DLA={c_dla if c_dla is not None else 'n/a'} "
+          f"over {observatory['queries']} queries")
+
     if tracer is not None:
         from repro.obs import write_jsonl
 
-        spans = tracer.finished_spans()
+        # Coordinator spans plus the node spans the collection rounds
+        # shipped back — trace-report assembles them into one id space.
+        spans = tracer.finished_spans() + list(service.last_node_spans)
         write_jsonl(spans, trace_out)
         print(f"\n== trace == {len(spans)} spans written to {trace_out}")
     return 0
 
 
-def run_trace_report(path: str, tree: bool = False) -> int:
+def run_trace_report(
+    path: str, tree: bool = False, critical_path: bool = False
+) -> int:
     """Render the cost-attribution table (or span tree) of a JSONL trace."""
-    from repro.obs import load_jsonl, render_attribution, render_tree
+    from repro.obs import (
+        assemble_forest,
+        load_jsonl,
+        render_attribution,
+        render_critical_path,
+        render_tree,
+    )
 
-    spans = load_jsonl(path)
-    print(render_tree(spans) if tree else render_attribution(spans))
+    # Traces may mix coordinator and per-node flight-recorder spans with
+    # colliding per-tracer ids; assembly renumbers them into one id space
+    # (a pure renumbering no-op for single-tracer traces).
+    spans = assemble_forest(load_jsonl(path))
+    if critical_path:
+        print(render_critical_path(spans))
+    elif tree:
+        print(render_tree(spans))
+    else:
+        print(render_attribution(spans))
     return 0
 
 
@@ -113,8 +137,17 @@ def main(argv: list[str] | None = None) -> int:
             "--tree", action="store_true",
             help="render the span tree instead of the attribution table",
         )
+        sub.add_argument(
+            "--critical-path", action="store_true",
+            help="show the chain of spans that determined the root's end "
+                 "time (which ring hop dominated the query)",
+        )
         sub_args = sub.parse_args(argv[1:])
-        return run_trace_report(sub_args.trace, tree=sub_args.tree)
+        return run_trace_report(
+            sub_args.trace,
+            tree=sub_args.tree,
+            critical_path=sub_args.critical_path,
+        )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -20,6 +20,7 @@ misconduct obliges opening, and refusing to open is itself the proof.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.crypto.blind import BlindingClient, BlindSigner
@@ -79,8 +80,13 @@ class CredentialAuthority:
     """Mints anonymous audit tokens and arbitrates identity escrow."""
 
     def __init__(self, group: SchnorrGroup | None = None, rng=None,
-                 precompute=None) -> None:
+                 precompute=None, telemetry=None) -> None:
         self._rng = rng or system_rng()
+        # Cross-node tracing: enrolment work records a span at the
+        # authority's node.  The span carries no identities — linking an
+        # enrolment session to a real id is exactly what blind issuance
+        # prevents, and telemetry must not reopen that channel.
+        self.telemetry = telemetry
         self.group = group or SchnorrGroup.generate(256, self._rng)
         self.key = SchnorrKeyPair.generate(self.group, self._rng)
         self.pedersen = PedersenParams.generate(256, self._rng.spawn("pedersen"))
@@ -107,24 +113,32 @@ class CredentialAuthority:
         if real_id in self.enrolled:
             raise EvidenceError(f"{real_id!r} already holds a token")
         rng = rng or self._rng.spawn(f"enroll:{real_id}")
-        pseudonym_key = SchnorrKeyPair.generate(self.group, rng)
-
-        # Blind issuance: the authority signs without seeing the pseudonym.
-        client = BlindingClient(
-            self.group, self.key.y, rng=rng.spawn("blinding"),
-            precompute=self._precompute,
+        span_cm = (
+            self.telemetry.node_span(
+                "authority", "node.authority.enroll", {"node": "authority"}
+            )
+            if self.telemetry is not None
+            else nullcontext(None)
         )
-        session, commitment_r = self._blind.start()
-        token_message = b"dla-token:" + _int_bytes(pseudonym_key.y)
-        challenge = client.challenge(commitment_r, token_message)
-        response = self._blind.respond(session, challenge)
-        signature = client.unblind(response)
-        token = AuditToken(pseudonym=pseudonym_key.y, signature=signature)
-        if not self.verify_token(token):
-            raise EvidenceError("blind issuance produced an invalid token")
+        with span_cm:
+            pseudonym_key = SchnorrKeyPair.generate(self.group, rng)
 
-        committer = PedersenCommitter(self.pedersen, rng.spawn("escrow"))
-        identity_commitment, opening = committer.commit(real_id.encode("utf-8"))
+            # Blind issuance: the authority signs without seeing the pseudonym.
+            client = BlindingClient(
+                self.group, self.key.y, rng=rng.spawn("blinding"),
+                precompute=self._precompute,
+            )
+            session, commitment_r = self._blind.start()
+            token_message = b"dla-token:" + _int_bytes(pseudonym_key.y)
+            challenge = client.challenge(commitment_r, token_message)
+            response = self._blind.respond(session, challenge)
+            signature = client.unblind(response)
+            token = AuditToken(pseudonym=pseudonym_key.y, signature=signature)
+            if not self.verify_token(token):
+                raise EvidenceError("blind issuance produced an invalid token")
+
+            committer = PedersenCommitter(self.pedersen, rng.spawn("escrow"))
+            identity_commitment, opening = committer.commit(real_id.encode("utf-8"))
         self.enrolled.add(real_id)
         return NodeCredentials(
             real_id=real_id,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import threading
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass
 
 from repro.audit.executor import AggregateResult, QueryExecutor, QueryResult
@@ -45,7 +45,11 @@ from repro.logstore.schema import GlobalSchema
 from repro.logstore.store import DistributedLogStore, WriteReceipt
 from repro.net.simnet import SimNetwork
 from repro.net.stats import CostReport, CryptoOpCounter
-from repro.obs.tracer import NOOP_TRACER
+from repro.obs.assemble import assemble_forest
+from repro.obs.confidentiality import ConfidentialityObservatory, QueryObservation
+from repro.obs.flight import TelemetryHub, run_collection_round
+from repro.obs.server import ObsServer, start_from_env
+from repro.obs.tracer import NOOP_TRACER, Span
 from repro.precompute import PrecomputeManager
 from repro.smc.base import SmcContext
 
@@ -121,6 +125,22 @@ class ConfidentialAuditingService:
         self.plan = plan
         self.tracer = tracer or NOOP_TRACER
         self.metrics = metrics
+        #: Cross-node tracing: one bounded flight recorder per participant
+        #: node, wired through every per-query network and SMC context so
+        #: trace context propagates on the wire (inert with a noop tracer).
+        self.telemetry = TelemetryHub(self.tracer, metrics=self.metrics)
+        #: §5 confidentiality metrics (C_query, C_DLA) computed live for
+        #: every executed query, with leakage-budget accounting.
+        self.observatory = ConfidentialityObservatory(
+            schema, plan, metrics=self.metrics
+        )
+        #: Most recent assembled cross-node traces (one list[Span] per
+        #: audited query); the ``/traces`` endpoint renders this.
+        self.recent_traces: deque[list[Span]] = deque(maxlen=32)
+        #: Node spans shipped back by the latest collection round.
+        self.last_node_spans: list[Span] = []
+        self._node_health: dict[str, dict] = {}
+        self._health_lock = threading.Lock()
         #: Correlated-randomness pools shared by every protocol this
         #: service drives (offline/online split; ``REPRO_PRECOMPUTE_*``).
         self.precompute = PrecomputeManager(
@@ -161,13 +181,15 @@ class ConfidentialAuditingService:
             tracer=self.tracer,
             metrics=self.metrics,
             precompute=self.precompute,
+            telemetry=self.telemetry,
         )
         self.executor = QueryExecutor(self.store, self.ctx, schema)
 
         # DLA-side identity: credential authority, membership, signatures.
         group = SchnorrGroup.generate(256, self.rng.spawn("group"))
         self.credential_authority = CredentialAuthority(
-            group, self.rng.spawn("ca"), precompute=self.precompute
+            group, self.rng.spawn("ca"), precompute=self.precompute,
+            telemetry=self.telemetry,
         )
         self.node_credentials: dict[str, NodeCredentials] = {}
         founder_id = plan.node_ids[0]
@@ -192,6 +214,10 @@ class ConfidentialAuditingService:
         self.node_shares: dict[str, ThresholdKeyShare] = {
             node_id: share for node_id, share in zip(plan.node_ids, shares)
         }
+
+        #: Live telemetry endpoint, opt-in via ``REPRO_OBS_HTTP_PORT``
+        #: (``None`` when the variable is unset).
+        self.obs_server: ObsServer | None = start_from_env(self)
 
     # -- offline phase (repro.precompute) ------------------------------------------
 
@@ -262,6 +288,7 @@ class ConfidentialAuditingService:
             metrics=self.metrics,
             resilience=self.resilience,
             faults=self.faults,
+            telemetry=self.telemetry,
         )
 
     def _collect_cost(self, net: SimNetwork, ops_before: Counter) -> CostReport:
@@ -271,22 +298,121 @@ class ConfidentialAuditingService:
         )
         report = CostReport.collect(net.stats, delta, virtual_time=net.now)
         self.last_query_cost = report
+        self._update_health(net)
         return report
 
-    def query(self, criterion: str, timeout: float | None = None) -> QueryResult:
+    # -- observability (repro.obs) --------------------------------------------------
+
+    def _update_health(self, net) -> None:
+        """Refresh per-node liveness from the resilience layer's ledger."""
+        failed = set(getattr(net, "failed_links", ()) or ())
+        down = {dst for _src, dst in failed}
+        with self._health_lock:
+            for node_id in self.plan.node_ids:
+                self._node_health[node_id] = {
+                    "status": "degraded" if node_id in down else "ok",
+                    "failed_links": sorted(
+                        f"{s}->{d}" for s, d in failed if node_id in (s, d)
+                    ),
+                }
+
+    def health_snapshot(self) -> dict:
+        """The ``/healthz`` endpoint body: per-node liveness."""
+        with self._health_lock:
+            nodes = {k: dict(v) for k, v in self._node_health.items()}
+        for node_id in self.plan.node_ids:
+            nodes.setdefault(node_id, {"status": "ok", "failed_links": []})
+        overall = "ok" if all(n["status"] == "ok" for n in nodes.values()) else "degraded"
+        return {"status": overall, "nodes": dict(sorted(nodes.items()))}
+
+    def recent_traces_snapshot(self) -> list[dict]:
+        """The ``/traces`` endpoint body: recent assembled trace trees."""
+        from repro.obs.export import span_to_dict
+
+        return [
+            {
+                "trace_id": spans[0].trace_id if spans else None,
+                "spans": [span_to_dict(s) for s in spans],
+            }
+            for spans in list(self.recent_traces)
+        ]
+
+    def start_obs_server(self, port: int = 0) -> ObsServer:
+        """Start (or return) the live telemetry endpoint on ``port``."""
+        if self.obs_server is None:
+            self.obs_server = ObsServer(
+                metrics=self.metrics,
+                health=self.health_snapshot,
+                traces=self.recent_traces_snapshot,
+                leakage=self.observatory.report,
+                port=port,
+            ).start()
+        return self.obs_server
+
+    def stop_obs_server(self) -> None:
+        if self.obs_server is not None:
+            self.obs_server.stop()
+            self.obs_server = None
+
+    def _reconstruct_record(self, glsn: int) -> LogRecord:
+        """Merge every node's fragment back into the full record (eq. 10)."""
+        values: dict = {}
+        for node_store in self.store.stores.values():
+            values.update(node_store.local_fragment(glsn).values)
+        return LogRecord(glsn=glsn, values=values)
+
+    def observe_query_result(
+        self, result: QueryResult, leakage_events: int, tenant: str = "default"
+    ) -> QueryObservation:
+        """Feed one executed query through the confidentiality observatory."""
+        records = [self._reconstruct_record(glsn) for glsn in result.glsns]
+        return self.observatory.observe_query(
+            result.plan, records, leakage_events, tenant=tenant
+        )
+
+    def _collect_trace(self, net, trace_id: str | None) -> list[Span] | None:
+        """Ship node spans back over ``net`` and assemble the query's tree.
+
+        Runs *after* the query's :class:`CostReport` is collected, so the
+        ``obs.collect``/``obs.spans`` round never pollutes cost totals.
+        """
+        if not (self.tracer.enabled and self.telemetry.enabled):
+            return None
+        collected = run_collection_round(self.telemetry, net)
+        self.last_node_spans = collected
+        if trace_id is None:
+            return None
+        local = [s for s in self.tracer.finished_spans() if s.trace_id == trace_id]
+        remote = [s for s in collected if s.trace_id == trace_id]
+        assembled = assemble_forest(local + remote)
+        self.recent_traces.append(assembled)
+        return assembled
+
+    def query(
+        self,
+        criterion: str,
+        timeout: float | None = None,
+        tenant: str = "default",
+    ) -> QueryResult:
         """Run one confidential auditing query (no report signing).
 
         ``timeout`` (seconds) becomes a :class:`~repro.resilience.Deadline`
         that propagates down through the executor into every SMC round;
         when it expires the query raises a typed
         :class:`~repro.errors.DeadlineExceededError` instead of hanging.
+        ``tenant`` attributes the query in the confidentiality
+        observatory's per-tenant C_DLA accounting.
         """
         net = self._fresh_net()
         ops_before = Counter(self.ctx.crypto_ops.ops)
+        leakage_before = self.ctx.leakage.count()
         result = self.executor.execute(
             criterion, net=net, deadline=Deadline.after(timeout)
         )
         self._collect_cost(net, ops_before)
+        self.observe_query_result(
+            result, self.ctx.leakage.count() - leakage_before, tenant=tenant
+        )
         return result
 
     def aggregate(
@@ -377,7 +503,12 @@ class ConfidentialAuditingService:
         if sched is not None:
             sched.shutdown()
 
-    def audited_query(self, criterion: str, timeout: float | None = None) -> AuditReport:
+    def audited_query(
+        self,
+        criterion: str,
+        timeout: float | None = None,
+        tenant: str = "default",
+    ) -> AuditReport:
         """Query + majority agreement + threshold-signed release.
 
         Every DLA node is modeled as computing the result; the digests
@@ -410,19 +541,32 @@ class ConfidentialAuditingService:
                 self.threshold_scheme, signer_shares, agreed, self.rng.spawn("sign")
             )
             cost = self._collect_cost(net, ops_before)
+            leakage_delta = self.ctx.leakage.count() - leakage_before
+            observation = self.observe_query_result(
+                result, leakage_delta, tenant=tenant
+            )
             span.set_attributes(
                 {
                     "digest": agreed,
                     "matches": len(result.glsns),
-                    "leakage_events": self.ctx.leakage.count() - leakage_before,
+                    "leakage_events": leakage_delta,
                     "messages": cost.messages,
                     "bytes": cost.bytes,
                     "modexp": cost.modexp,
                     "modexp_offline": cost.offline_modexp,
                     "modexp_online": cost.online_modexp,
                     "dropped": cost.dropped,
+                    # §5 reconciliation: the observatory's live view of this
+                    # query, recorded in the same root span as its costs.
+                    "c_query": observation.c_query,
+                    "c_dla": self.observatory.c_dla(tenant) or 0.0,
+                    "over_budget": observation.over_budget,
                 }
             )
+        # Telemetry-collection round: ship every node's flight-recorder
+        # spans back over the same per-query network and assemble this
+        # query's single cross-node trace tree.
+        self._collect_trace(net, getattr(span, "trace_id", None))
         return AuditReport(
             criterion=criterion,
             glsns=tuple(result.glsns),

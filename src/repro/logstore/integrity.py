@@ -35,6 +35,7 @@ append folds only the new glsn.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 
 from repro.cache import LruCache
@@ -185,6 +186,7 @@ class IntegrityNode:
         ring: list[str],
         precompute=None,
         crypto=None,
+        telemetry=None,
     ) -> None:
         self.node_id = node_id
         self.store = store
@@ -194,7 +196,16 @@ class IntegrityNode:
         self.ring = list(ring)
         self.precompute = precompute
         self.crypto = crypto
+        # Cross-node tracing (repro.obs.flight.TelemetryHub): fold counts
+        # attribute to this node's open flight-recorder span, and the
+        # initiator's bootstrap fold opens one explicitly.
+        self.telemetry = telemetry
         self.state = _RingState()
+
+    def _node_span(self, name: str):
+        if self.telemetry is None:
+            return nullcontext(None)
+        return self.telemetry.node_span(self.node_id, name, {"node": self.node_id})
 
     def _count_folds(self, count: int, offline: int = 0) -> None:
         if self.crypto is None or count == 0:
@@ -203,6 +214,8 @@ class IntegrityNode:
         self.crypto.add("total.modexp", count)
         if offline:
             self.crypto.add("offline.modexp", offline)
+        if self.telemetry is not None:
+            self.telemetry.add_cost(self.node_id, "modexp", count)
 
     def _initial_fold(self, exponent: int) -> int:
         """``pow(x0, exponent, n)`` — from the witness pool when possible."""
@@ -218,11 +231,12 @@ class IntegrityNode:
 
     def start_check(self, transport, glsn: int) -> None:
         """Initiate a circulation for one glsn (we fold our fragment first)."""
-        value = self._initial_fold(
-            digest_to_exponent(self.store.local_fragment(glsn).canonical_bytes())
-        )
-        remaining = [n for n in self.ring if n != self.node_id]
-        self._forward(transport, glsn, value, remaining)
+        with self._node_span("node.integ.start"):
+            value = self._initial_fold(
+                digest_to_exponent(self.store.local_fragment(glsn).canonical_bytes())
+            )
+            remaining = [n for n in self.ring if n != self.node_id]
+            self._forward(transport, glsn, value, remaining)
 
     def _forward(self, transport, glsn: int, value: int, remaining: list[str]) -> None:
         if remaining:
@@ -301,19 +315,20 @@ class IntegrityNode:
 
     def start_batch_check(self, transport, glsns: list[int]) -> None:
         """One token carrying every glsn's running value (we fold first)."""
-        if self.precompute is not None:
-            values = [
-                self._initial_fold(digest_to_exponent(fragment))
-                for fragment in self._fragment_bytes(glsns)
-            ]
-        else:
-            x0 = self.accumulator.params.x0
-            values = self.accumulator.step_many(
-                [x0] * len(glsns), self._fragment_bytes(glsns)
-            )
-            self._count_folds(len(glsns))
-        remaining = [n for n in self.ring if n != self.node_id]
-        self._forward_batch(transport, glsns, values, remaining)
+        with self._node_span("node.integ.start"):
+            if self.precompute is not None:
+                values = [
+                    self._initial_fold(digest_to_exponent(fragment))
+                    for fragment in self._fragment_bytes(glsns)
+                ]
+            else:
+                x0 = self.accumulator.params.x0
+                values = self.accumulator.step_many(
+                    [x0] * len(glsns), self._fragment_bytes(glsns)
+                )
+                self._count_folds(len(glsns))
+            remaining = [n for n in self.ring if n != self.node_id]
+            self._forward_batch(transport, glsns, values, remaining)
 
     def _forward_batch(
         self, transport, glsns: list[int], values: list[int], remaining: list[str]
@@ -375,17 +390,18 @@ class IntegrityNode:
 
     def start_combined_check(self, transport, glsns: list[int]) -> None:
         """One token, one value: each hop folds ALL its fragments at once."""
-        if self.precompute is not None:
-            value = self._initial_fold(
-                self.accumulator.exponent_product(self._fragment_bytes(glsns))
-            )
-        else:
-            value = self.accumulator.fold_product(
-                self.accumulator.params.x0, self._fragment_bytes(glsns)
-            )
-            self._count_folds(1)
-        remaining = [n for n in self.ring if n != self.node_id]
-        self._forward_combined(transport, glsns, value, remaining)
+        with self._node_span("node.integ.start"):
+            if self.precompute is not None:
+                value = self._initial_fold(
+                    self.accumulator.exponent_product(self._fragment_bytes(glsns))
+                )
+            else:
+                value = self.accumulator.fold_product(
+                    self.accumulator.params.x0, self._fragment_bytes(glsns)
+                )
+                self._count_folds(1)
+            remaining = [n for n in self.ring if n != self.node_id]
+            self._forward_combined(transport, glsns, value, remaining)
 
     def _forward_combined(
         self, transport, glsns: list[int], value: int, remaining: list[str]
@@ -464,10 +480,11 @@ def _ring_setup(
     initiator = initiator or ring[0]
     if initiator not in ring:
         raise ProtocolAbortError(f"initiator {initiator!r} is not a DLA node")
+    telemetry = getattr(net, "telemetry", None)
     nodes = {
         node_id: IntegrityNode(
             node_id, store.stores[node_id], store.accumulator, ring,
-            precompute=precompute, crypto=crypto,
+            precompute=precompute, crypto=crypto, telemetry=telemetry,
         )
         for node_id in ring
     }
@@ -524,6 +541,7 @@ def _supervised_round(
                 nid: IntegrityNode(
                     nid, store.stores[nid], store.accumulator, order,
                     precompute=precompute, crypto=crypto,
+                    telemetry=getattr(net, "telemetry", None),
                 )
                 for nid in alive
             }

@@ -123,6 +123,10 @@ def encode_message(msg: Message) -> bytes:
             body["mid"] = msg.msg_id
         if msg.channel is not None:
             body["ch"] = msg.channel
+        if msg.trace_id is not None:
+            body["tid"] = msg.trace_id
+        if msg.parent_span_id is not None:
+            body["psp"] = msg.parent_span_id
         return json.dumps(body, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise CodecError(f"failed to encode message {msg.kind!r}: {exc}") from exc
@@ -141,6 +145,8 @@ def decode_message(data: bytes) -> Message:
         msg.seq = body.get("seq", msg.seq)
         msg.msg_id = body.get("mid")
         msg.channel = body.get("ch")
+        msg.trace_id = body.get("tid")
+        msg.parent_span_id = body.get("psp")
         msg.size_bytes = len(data)
         return msg
     except (KeyError, ValueError, UnicodeDecodeError) as exc:

@@ -51,6 +51,13 @@ class Message:
         traffic carries its channel tag so interleaved SMC rounds are
         dispatched to the right query's handlers and never cross-talk.
         ``None`` (the default) on plain single-query transports.
+    trace_id, parent_span_id:
+        Trace-context propagation (``repro.obs``): the trace this message
+        belongs to and the sender's open span as a ``"node:span_id"``
+        reference.  Stamped by telemetry-enabled transports at send time,
+        preserved across :meth:`reply`/:meth:`forwarded` like ``channel``
+        so a whole ring circulation stays in one trace.  ``None`` when
+        tracing is off — the codec then omits both fields entirely.
     """
 
     src: NodeId
@@ -63,12 +70,15 @@ class Message:
     size_bytes: int = 0
     msg_id: str | None = None
     channel: str | None = None
+    trace_id: str | None = None
+    parent_span_id: str | None = None
 
     def reply(self, kind: str, payload: Any = None) -> "Message":
         """Construct a response addressed back to this message's sender."""
         return Message(
             src=self.dst, dst=self.src, kind=kind, payload=payload,
             channel=self.channel,
+            trace_id=self.trace_id, parent_span_id=self.parent_span_id,
         )
 
     def forwarded(self, new_dst: NodeId, payload: Any = None) -> "Message":
@@ -83,4 +93,6 @@ class Message:
             kind=self.kind,
             payload=self.payload if payload is None else payload,
             channel=self.channel,
+            trace_id=self.trace_id,
+            parent_span_id=self.parent_span_id,
         )

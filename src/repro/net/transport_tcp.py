@@ -72,9 +72,14 @@ class TcpNode:
         metrics=None,
         connect_timeout: float | None = None,
         recv_timeout: float | None = None,
+        telemetry=None,
     ) -> None:
         self.node_id = node_id
         self.stats = NetworkStats()
+        # Cross-node tracing (repro.obs.flight): outgoing messages are
+        # stamped with the sender's open span reference, and deliveries
+        # run inside per-node flight-recorder spans under that parent.
+        self.telemetry = telemetry
         # Send events attach to the sender's open span.  Receives land on
         # a reader thread whose span stack is empty, so each delivery runs
         # inside its own short ``tcp.recv`` root span there — relay sends
@@ -169,17 +174,39 @@ class TcpNode:
             sock = self._connect(dst)
             sock.sendall(payload)
 
+    def _stamp_trace_context(self, msg: Message) -> None:
+        """Attach the sender's open span reference before framing.
+
+        Replies/forwards already carry their inbound context; telemetry
+        traffic (``obs.*``) is never stamped.
+        """
+        hub = self.telemetry
+        if (
+            hub is None
+            or not hub.enabled
+            or msg.trace_id is not None
+            or msg.kind.startswith("obs.")
+        ):
+            return
+        context = hub.sender_context(msg.src)
+        if context is not None:
+            msg.trace_id, msg.parent_span_id = context
+
     def send(self, msg: Message) -> None:
         """Send one framed message, connecting lazily on first use."""
         if self._closed.is_set():
             raise TransportClosedError(f"{self.node_id} is closed")
         if msg.dst not in self._address_book:
             raise NodeUnreachableError(f"unknown peer {msg.dst!r}")
+        self._stamp_trace_context(msg)
         frame = encode_frame(msg)
         msg.size_bytes = len(frame) - FRAME_HEADER_BYTES
         with self._outbound_lock:
             self._ship(msg.dst, frame)
-        self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
+        # ``obs.*`` collection traffic is telemetry plumbing, not protocol
+        # cost — keep it out of the stats ledger (mirrors SimNetwork).
+        if not msg.kind.startswith("obs."):
+            self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
         if self.tracer.enabled:
             self.tracer.add_event(
                 "net.send",
@@ -206,6 +233,7 @@ class TcpNode:
         for msg in msgs:
             if msg.dst not in self._address_book:
                 raise NodeUnreachableError(f"unknown peer {msg.dst!r}")
+            self._stamp_trace_context(msg)
             frame = encode_frame(msg)
             msg.size_bytes = len(frame) - FRAME_HEADER_BYTES
             batches.setdefault(msg.dst, bytearray()).extend(frame)
@@ -213,7 +241,8 @@ class TcpNode:
             for dst, payload in batches.items():
                 self._ship(dst, bytes(payload))
         for msg in msgs:
-            self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
+            if not msg.kind.startswith("obs."):
+                self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
             if self.tracer.enabled:
                 self.tracer.add_event(
                     "net.send",
@@ -277,7 +306,25 @@ class TcpNode:
                         {"node": self.node_id, "mid": msg.msg_id},
                     )
                 return
-        if self.tracer.enabled:
+        hub = self.telemetry
+        if hub is not None and hub.enabled and not msg.kind.startswith("obs."):
+            # Cross-node mode: the delivery runs inside a flight-recorder
+            # span at this node, parented to the propagated sender span.
+            with hub.node_span(
+                self.node_id,
+                f"node.{msg.kind}",
+                {
+                    "node": self.node_id,
+                    "kind": msg.kind,
+                    "src": msg.src,
+                    "messages": 1,
+                    "bytes": msg.size_bytes,
+                },
+                trace_id=msg.trace_id,
+                remote_parent=msg.parent_span_id,
+            ):
+                self._deliver(msg)
+        elif self.tracer.enabled:
             with self.tracer.span(
                 "tcp.recv",
                 {"node": self.node_id, "src": msg.src, "kind": msg.kind},
@@ -357,7 +404,9 @@ class TcpCluster:
         metrics=None,
         connect_timeout: float | None = None,
         recv_timeout: float | None = None,
+        telemetry=None,
     ) -> None:
+        self.telemetry = telemetry
         self.nodes: dict[NodeId, TcpNode] = {
             node_id: TcpNode(
                 node_id,
@@ -365,6 +414,7 @@ class TcpCluster:
                 metrics=metrics,
                 connect_timeout=connect_timeout,
                 recv_timeout=recv_timeout,
+                telemetry=telemetry,
             )
             for node_id in node_ids
         }

@@ -11,6 +11,14 @@ layer:
   per-span attributes, and span events.  The
   :class:`~repro.obs.tracer.NoopTracer` (the default everywhere) makes
   tracing opt-in with near-zero disabled cost.
+* :mod:`~repro.obs.flight` — cross-node tracing: bounded per-node
+  :class:`~repro.obs.flight.FlightRecorder` ring buffers, the
+  :class:`~repro.obs.flight.TelemetryHub` the transports propagate trace
+  context through, and the ``obs.collect``/``obs.spans`` collection
+  round that ships node-local spans back to the coordinator.
+* :mod:`~repro.obs.assemble` — renumbers spans from many recorders into
+  one consistent tree per ``trace_id`` (resolving ``"node:span_id"``
+  remote-parent references).
 * :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
   fixed-bucket histograms that :class:`~repro.net.stats.NetworkStats`
   and :class:`~repro.net.stats.CryptoOpCounter` feed into.
@@ -18,19 +26,37 @@ layer:
   dump, and a human-readable span tree.
 * :mod:`~repro.obs.report` — the ``python -m repro trace-report`` cost
   attribution table (time / messages / bytes / modexp per span, % of
-  parent).
+  parent) and the ``--critical-path`` analysis.
+* :class:`~repro.obs.confidentiality.ConfidentialityObservatory` — the
+  paper's §5 metrics (``C_query``, ``C_DLA``) computed live per query
+  and per tenant, with leakage-budget gauges.
+* :class:`~repro.obs.server.ObsServer` — the stdlib HTTP telemetry
+  endpoint (``/metrics``, ``/healthz``, ``/traces``, ``/leakage``),
+  opt-in via ``REPRO_OBS_HTTP_PORT``.
 
 Emitted traces are deterministic modulo timestamps: span ids are
 sequential per tracer, so tests can assert the exact span structure of a
 protocol run.
 """
 
+from repro.obs.assemble import assemble_forest, assemble_trace, trace_ids
+from repro.obs.confidentiality import (
+    ConfidentialityObservatory,
+    QueryObservation,
+)
 from repro.obs.export import (
+    escape_help_text,
+    escape_label_value,
     export_jsonl,
     load_jsonl,
     loads_jsonl,
     render_tree,
     write_jsonl,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    TelemetryHub,
+    run_collection_round,
 )
 from repro.obs.metrics import (
     BATCH_BUCKETS,
@@ -38,7 +64,13 @@ from repro.obs.metrics import (
     SIZE_BUCKETS_BYTES,
     MetricsRegistry,
 )
-from repro.obs.report import attribution_rows, render_attribution
+from repro.obs.report import (
+    attribution_rows,
+    critical_path,
+    render_attribution,
+    render_critical_path,
+)
+from repro.obs.server import ObsServer
 from repro.obs.tracer import NOOP_TRACER, NoopTracer, Span, SpanEvent, Tracer
 
 __all__ = [
@@ -47,6 +79,15 @@ __all__ = [
     "NOOP_TRACER",
     "Span",
     "SpanEvent",
+    "FlightRecorder",
+    "TelemetryHub",
+    "run_collection_round",
+    "assemble_forest",
+    "assemble_trace",
+    "trace_ids",
+    "ConfidentialityObservatory",
+    "QueryObservation",
+    "ObsServer",
     "MetricsRegistry",
     "SIZE_BUCKETS_BYTES",
     "LATENCY_BUCKETS_SECONDS",
@@ -56,6 +97,10 @@ __all__ = [
     "load_jsonl",
     "loads_jsonl",
     "render_tree",
+    "escape_label_value",
+    "escape_help_text",
     "attribution_rows",
     "render_attribution",
+    "critical_path",
+    "render_critical_path",
 ]

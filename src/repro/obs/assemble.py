@@ -1,0 +1,83 @@
+"""Cross-node trace assembly: one tree per query from many recorders.
+
+Span ids are sequential *per tracer*, so a coordinator trace and N
+flight-recorder traces collide the moment they meet.  Assembly renumbers
+every span into one id space and resolves both parent forms:
+
+* local ``parent_id`` — a span id on the *same* node;
+* ``remote_parent`` — a ``"node:span_id"`` reference propagated over the
+  wire (the sender's open span when the message left).
+
+The result is a plain ``list[Span]`` whose ``parent_id`` links are
+globally consistent, so the existing renderers
+(:func:`~repro.obs.export.render_tree`,
+:func:`~repro.obs.report.render_attribution`,
+:func:`~repro.obs.report.critical_path`) work on it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.obs.tracer import Span
+
+__all__ = ["assemble_forest", "assemble_trace", "trace_ids"]
+
+
+def trace_ids(spans: list[Span]) -> list[str]:
+    """Distinct trace ids present, in first-appearance order."""
+    seen: dict[str, None] = {}
+    for span in spans:
+        if span.trace_id is not None:
+            seen.setdefault(span.trace_id, None)
+    return list(seen)
+
+
+def _sort_key(span: Span):
+    # Coordinator spans first (they hold the roots), then per-node spans,
+    # each group in recording order — deterministic for equal clocks.
+    return (span.node is not None, span.node or "", span.span_id)
+
+
+def assemble_forest(spans: list[Span]) -> list[Span]:
+    """Renumber spans from many tracers into one consistent id space.
+
+    Returns copies (inputs are never mutated) in the new id order.  A
+    ``remote_parent`` whose target span was not collected (rotated out of
+    a ring buffer, node never drained) leaves the span a root with the
+    dangling reference kept in its attributes for forensics.
+    """
+    ordered = sorted(spans, key=_sort_key)
+    new_ids: dict[tuple[str | None, int], int] = {}
+    by_ref: dict[str, int] = {}
+    for new_id, span in enumerate(ordered, start=1):
+        new_ids[(span.node, span.span_id)] = new_id
+        by_ref[span.ref] = new_id
+
+    out: list[Span] = []
+    for span in ordered:
+        new_id = new_ids[(span.node, span.span_id)]
+        parent = None
+        attributes = dict(span.attributes)
+        if span.parent_id is not None:
+            parent = new_ids.get((span.node, span.parent_id))
+        elif span.remote_parent is not None:
+            parent = by_ref.get(span.remote_parent)
+            if parent is None:
+                attributes["unresolved_parent"] = span.remote_parent
+        out.append(
+            replace(
+                span,
+                span_id=new_id,
+                parent_id=parent,
+                attributes=attributes,
+                events=list(span.events),
+                remote_parent=None if parent is not None else span.remote_parent,
+            )
+        )
+    return out
+
+
+def assemble_trace(spans: list[Span], trace_id: str) -> list[Span]:
+    """Assemble the single cross-node tree for one trace id."""
+    return assemble_forest([s for s in spans if s.trace_id == trace_id])

@@ -24,11 +24,13 @@ __all__ = [
     "load_jsonl",
     "loads_jsonl",
     "render_tree",
+    "escape_label_value",
+    "escape_help_text",
 ]
 
 
 def span_to_dict(span: Span) -> dict:
-    return {
+    data = {
         "span_id": span.span_id,
         "parent_id": span.parent_id,
         "name": span.name,
@@ -37,6 +39,15 @@ def span_to_dict(span: Span) -> dict:
         "attributes": dict(span.attributes),
         "events": [event.to_dict() for event in span.events],
     }
+    # Cross-node fields appear only when set, so traces written before
+    # propagation existed stay valid and byte-identical on re-export.
+    if span.trace_id is not None:
+        data["trace_id"] = span.trace_id
+    if span.node is not None:
+        data["node"] = span.node
+    if span.remote_parent is not None:
+        data["remote_parent"] = span.remote_parent
+    return data
 
 
 def span_from_dict(data: dict) -> Span:
@@ -55,7 +66,29 @@ def span_from_dict(data: dict) -> Span:
             )
             for e in data.get("events", [])
         ],
+        trace_id=data.get("trace_id"),
+        node=data.get("node"),
+        remote_parent=data.get("remote_parent"),
     )
+
+
+def escape_label_value(value: str) -> str:
+    """Prometheus text-format label-value escaping.
+
+    The exposition format requires backslash, double-quote, and newline
+    escaped inside ``label="value"`` — anything else is emitted verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help_text(text: str) -> str:
+    """``# HELP`` line escaping: backslash and newline only (no quotes)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def export_jsonl(spans: list[Span]) -> str:

@@ -19,6 +19,7 @@ import bisect
 import threading
 
 from repro.errors import ConfigurationError
+from repro.obs.export import escape_help_text, escape_label_value
 
 # One process-wide lock guards every metric mutation and family lookup.
 # Emission is cheap (an int add) and the scheduler's concurrent queries
@@ -128,7 +129,7 @@ def _label_key(labels: dict | None) -> tuple:
 def _label_suffix(key: tuple) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in key)
     return "{" + inner + "}"
 
 
@@ -180,6 +181,10 @@ class MetricsRegistry:
         help: str = "",
         labels: dict | None = None,
     ) -> Histogram:
+        if labels and "le" in labels:
+            # "le" is reserved for the bucket bound; a user label of the
+            # same name would render two le= pairs on every _bucket line.
+            raise ConfigurationError("histogram label 'le' is reserved")
         with _LOCK:
             family = self._family(
                 name, "histogram", help, buckets or LATENCY_BUCKETS_SECONDS
@@ -237,7 +242,7 @@ class MetricsRegistry:
         for name in sorted(self._families):
             family = self._families[name]
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {escape_help_text(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for key in sorted(family.instances):
                 metric = family.instances[key]

@@ -14,7 +14,14 @@ from __future__ import annotations
 from repro.obs.export import _children_index
 from repro.obs.tracer import Span
 
-__all__ = ["COST_KEYS", "span_cost", "attribution_rows", "render_attribution"]
+__all__ = [
+    "COST_KEYS",
+    "span_cost",
+    "attribution_rows",
+    "render_attribution",
+    "critical_path",
+    "render_critical_path",
+]
 
 COST_KEYS = ("messages", "bytes", "modexp")
 
@@ -110,4 +117,83 @@ def render_attribution(spans: list[Span]) -> str:
         cells = [r[0].ljust(widths[0])]
         cells += [r[i].rjust(widths[i]) for i in range(1, len(headers))]
         lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def critical_path(spans: list[Span], root: Span | None = None) -> list[dict]:
+    """The chain of spans that determined the root's end time.
+
+    From the root (the longest root span when not given), repeatedly
+    descend into the child that *finished last* — with sequential ring
+    protocols that is exactly the hop the query was waiting on.  Each row
+    reports the span's own duration, its ``self_ms`` (time not covered
+    by the next span on the path), and its share of the root.
+    """
+    if not spans:
+        return []
+    children = _children_index(spans)
+    if root is None:
+        roots = children.get(None, [])
+        if not roots:
+            return []
+        root = max(roots, key=lambda s: s.duration)
+
+    path: list[Span] = [root]
+    node = root
+    while True:
+        kids = [k for k in children.get(node.span_id, []) if k.end is not None]
+        if not kids:
+            break
+        node = max(kids, key=lambda k: (k.end, k.start))
+        path.append(node)
+
+    total = root.duration or 0.0
+    rows: list[dict] = []
+    for i, span in enumerate(path):
+        following = path[i + 1].duration if i + 1 < len(path) else 0.0
+        rows.append(
+            {
+                "name": span.name,
+                "node": span.node or "coord",
+                "duration": span.duration,
+                "self": max(0.0, span.duration - following),
+                "of_root": (span.duration / total) if total > 0 else 0.0,
+            }
+        )
+    return rows
+
+
+def render_critical_path(spans: list[Span]) -> str:
+    """Human-readable critical path: which hop dominates the query."""
+    rows = critical_path(spans)
+    if not rows:
+        return "(empty trace)"
+    rendered = [
+        (
+            "  " * i + row["name"],
+            row["node"],
+            f"{row['duration'] * 1e3:.3f}",
+            f"{row['self'] * 1e3:.3f}",
+            f"{row['of_root'] * 100:.1f}%",
+        )
+        for i, row in enumerate(rows)
+    ]
+    headers = ("critical path", "node", "span ms", "self ms", "% of root")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rendered:
+        cells = [r[0].ljust(widths[0])]
+        cells += [r[i].rjust(widths[i]) for i in range(1, len(headers))]
+        lines.append("  ".join(cells))
+    dominant = max(rows, key=lambda r: r["self"])
+    lines.append(
+        f"dominant: {dominant['name']} on {dominant['node']} "
+        f"({dominant['self'] * 1e3:.3f} ms self)"
+    )
     return "\n".join(lines)

@@ -8,6 +8,21 @@ for tests), span ids are sequential per tracer, and finished spans are
 collected in completion order — so two runs of the same deterministic
 protocol produce identical traces modulo timestamps.
 
+Cross-node tracing builds on three optional :class:`Span` fields:
+
+* ``trace_id`` — one id per logical request (an ``audit.query``, a
+  scheduled query, ...).  Root spans are assigned one automatically;
+  children inherit it.  Carried on the wire by ``Message.trace_id``.
+* ``node`` — which party recorded the span (``None`` means the
+  coordinator process).  Per-node recorders
+  (:class:`repro.obs.flight.FlightRecorder`) set it once at
+  construction.
+* ``remote_parent`` — a cross-tracer parent reference ``"node:span_id"``
+  (see :attr:`Span.ref`).  Span ids are only unique *per tracer*, so a
+  parent on another node is named by this string, carried on the wire by
+  ``Message.parent_span_id`` and resolved later by
+  :func:`repro.obs.assemble.assemble_forest`.
+
 Disabled tracing is the default everywhere: :data:`NOOP_TRACER` exposes
 the same interface but allocates nothing — ``span()`` returns one shared
 reusable context manager yielding one shared inert span.  Hot paths that
@@ -15,20 +30,34 @@ build attribute dicts per call should additionally gate on
 ``tracer.enabled`` (the transports do).
 
 The per-thread span stack means the tracer is safe to share across the
-TCP transport's reader threads: each thread nests its own spans, and
-events fired on a thread with no open span are dropped rather than
-misattached.
+TCP transport's reader threads: each thread nests its own spans.  Events
+fired on a thread with no open span land in a bounded *orphan buffer*
+(and count toward the ``repro_obs_orphan_events_total`` metric when a
+registry is attached) instead of being silently lost.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["Span", "SpanEvent", "Tracer", "NoopTracer", "NOOP_TRACER"]
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "ORPHAN_BUFFER_ENV_VAR",
+    "DEFAULT_ORPHAN_BUFFER",
+]
+
+ORPHAN_BUFFER_ENV_VAR = "REPRO_OBS_ORPHAN_EVENTS"
+DEFAULT_ORPHAN_BUFFER = 256
 
 
 @dataclass
@@ -58,10 +87,18 @@ class Span:
     end: float | None = None
     attributes: dict = field(default_factory=dict)
     events: list[SpanEvent] = field(default_factory=list)
+    trace_id: str | None = None
+    node: str | None = None
+    remote_parent: str | None = None
 
     @property
     def duration(self) -> float:
         return (self.end if self.end is not None else self.start) - self.start
+
+    @property
+    def ref(self) -> str:
+        """Globally-meaningful span reference: ``"node:span_id"``."""
+        return f"{self.node or 'coord'}:{self.span_id}"
 
     def set_attribute(self, key: str, value) -> None:
         self.attributes[key] = value
@@ -89,16 +126,36 @@ class Tracer:
     clock:
         Monotonic time source.  Tests inject a counter to make timestamps
         (not just structure) deterministic.
+    node:
+        Identity stamped on every span this tracer records (``None`` =
+        the coordinator process).  Per-node flight recorders set it.
+    orphan_capacity:
+        Bound on the orphan-event ring buffer (events fired with no open
+        span).  Defaults to ``REPRO_OBS_ORPHAN_EVENTS`` (256).
     """
 
     enabled = True
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock=time.perf_counter,
+        node: str | None = None,
+        orphan_capacity: int | None = None,
+    ) -> None:
         self._clock = clock
+        self.node = node
         self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
         self._finished: list[Span] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        if orphan_capacity is None:
+            orphan_capacity = int(
+                os.environ.get(ORPHAN_BUFFER_ENV_VAR, str(DEFAULT_ORPHAN_BUFFER))
+            )
+        self._orphans: deque[SpanEvent] = deque(maxlen=max(1, orphan_capacity))
+        self.orphan_events_total = 0
+        self._orphan_counter = None
 
     # -- span lifecycle ----------------------------------------------------
 
@@ -113,19 +170,60 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def current_context(self) -> tuple[str | None, str] | None:
+        """``(trace_id, ref)`` of the innermost open span, or ``None``.
+
+        This is what a transport stamps onto an outgoing message so the
+        receiving node can open its handler span under the right parent.
+        """
+        span = self.current_span
+        if span is None:
+            return None
+        return (span.trace_id, span.ref)
+
+    def _new_trace_id(self) -> str:
+        with self._lock:
+            return f"{self.node or 'coord'}-t{next(self._trace_ids)}"
+
+    def _store(self, span: Span) -> None:
+        """Storage hook: subclasses (the flight recorder) bound it."""
+        with self._lock:
+            self._finished.append(span)
+
     @contextmanager
-    def span(self, name: str, attributes: dict | None = None):
-        """Open a child of the current span (or a root span) for the block."""
+    def span(
+        self,
+        name: str,
+        attributes: dict | None = None,
+        *,
+        trace_id: str | None = None,
+        remote_parent: str | None = None,
+    ):
+        """Open a child of the current span (or a root span) for the block.
+
+        ``trace_id``/``remote_parent`` seed a *root* span from propagated
+        wire context; nested spans inherit the local parent's trace and
+        ignore them (the local parentage is strictly more precise).
+        """
         stack = self._stack()
         parent = stack[-1] if stack else None
         with self._lock:
             span_id = next(self._ids)
+        if parent is not None:
+            tid = parent.trace_id
+            remote = None
+        else:
+            tid = trace_id if trace_id is not None else self._new_trace_id()
+            remote = remote_parent
         span = Span(
             name=name,
             span_id=span_id,
             parent_id=parent.span_id if parent else None,
             start=self._clock(),
             attributes=dict(attributes or {}),
+            trace_id=tid,
+            node=self.node,
+            remote_parent=remote,
         )
         stack.append(span)
         try:
@@ -133,14 +231,34 @@ class Tracer:
         finally:
             stack.pop()
             span.end = self._clock()
-            with self._lock:
-                self._finished.append(span)
+            self._store(span)
 
     def add_event(self, name: str, attributes: dict | None = None) -> None:
-        """Attach an event to the innermost open span (dropped if none)."""
+        """Attach an event to the innermost open span.
+
+        With no open span on this thread the event goes to the bounded
+        orphan buffer (and the orphan counter) instead of being lost —
+        callers never need a guard either way.
+        """
         span = self.current_span
         if span is not None:
             span.add_event(name, attributes, timestamp=self._clock())
+            return
+        event = SpanEvent(
+            name=name, timestamp=self._clock(), attributes=dict(attributes or {})
+        )
+        with self._lock:
+            self._orphans.append(event)
+            self.orphan_events_total += 1
+        if self._orphan_counter is not None:
+            self._orphan_counter.inc()
+
+    def attach_metrics(self, registry) -> None:
+        """Feed orphan-event counts into ``repro_obs_orphan_events_total``."""
+        self._orphan_counter = registry.counter(
+            "repro_obs_orphan_events_total",
+            help="tracer events fired on threads with no open span",
+        )
 
     # -- inspection --------------------------------------------------------
 
@@ -152,11 +270,18 @@ class Tracer:
     def root_spans(self) -> list[Span]:
         return [s for s in self.finished_spans() if s.parent_id is None]
 
+    def orphan_events(self) -> list[SpanEvent]:
+        """Buffered events that had no open span (oldest dropped first)."""
+        with self._lock:
+            return list(self._orphans)
+
     def reset(self) -> None:
         """Drop collected spans and restart the id sequence."""
         with self._lock:
             self._finished.clear()
             self._ids = itertools.count(1)
+            self._trace_ids = itertools.count(1)
+            self._orphans.clear()
 
 
 class _NoopSpan:
@@ -172,6 +297,10 @@ class _NoopSpan:
     duration = 0.0
     attributes: dict = {}
     events: list = []
+    trace_id = None
+    node = None
+    remote_parent = None
+    ref = "coord:0"
 
     def set_attribute(self, key, value) -> None:
         pass
@@ -206,17 +335,35 @@ class NoopTracer:
 
     enabled = False
     current_span = None
+    node = None
+    orphan_events_total = 0
 
-    def span(self, name: str, attributes: dict | None = None) -> _NoopSpanContext:
+    def span(
+        self,
+        name: str,
+        attributes: dict | None = None,
+        *,
+        trace_id: str | None = None,
+        remote_parent: str | None = None,
+    ) -> _NoopSpanContext:
         return _NOOP_CONTEXT
 
+    def current_context(self) -> None:
+        return None
+
     def add_event(self, name: str, attributes: dict | None = None) -> None:
+        pass
+
+    def attach_metrics(self, registry) -> None:
         pass
 
     def finished_spans(self) -> list[Span]:
         return []
 
     def root_spans(self) -> list[Span]:
+        return []
+
+    def orphan_events(self) -> list[SpanEvent]:
         return []
 
     def reset(self) -> None:

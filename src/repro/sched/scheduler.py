@@ -397,6 +397,7 @@ class QueryScheduler:
             metrics=service.metrics,
             encoder=service.ctx.encoder,
             precompute=service.precompute,
+            telemetry=service.telemetry,
         )
         executor = QueryExecutor(
             service.store,
@@ -419,6 +420,9 @@ class QueryScheduler:
                 )
                 if service.tracer.enabled:
                     span.set_attribute("matches", len(result.glsns))
+            # Concurrent queries feed the confidentiality observatory too
+            # (it is thread-safe); leakage is this query's private ledger.
+            service.observe_query_result(result, len(qctx.leakage.events))
             return result
         finally:
             # Cost and leakage are attributed even on failure: the query

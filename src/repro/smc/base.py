@@ -12,7 +12,7 @@ Definition 1 (paper §3) distinguishes *participants* (hold private inputs),
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -100,6 +100,12 @@ class SmcContext:
         contexts share one manager the same way they share the encoder.
         ``None`` — and likewise ``REPRO_PRECOMPUTE=off`` — keeps the
         original inline computation, bit for bit.
+    telemetry:
+        Optional :class:`~repro.obs.flight.TelemetryHub` for cross-node
+        tracing: modexp counts are then also attributed to the open
+        flight-recorder span of the party that performed them, and
+        protocol bootstrap code can open per-node spans through
+        :meth:`node_span`.  Never changes protocol behaviour.
     """
 
     def __init__(
@@ -111,6 +117,7 @@ class SmcContext:
         metrics=None,
         encoder: MessageEncoder | None = None,
         precompute=None,
+        telemetry=None,
     ) -> None:
         if prime < 17:
             raise ConfigurationError("shared prime too small")
@@ -132,6 +139,11 @@ class SmcContext:
             self.crypto_ops.attach_metrics(metrics)
         self.leakage = LeakageLedger(tracer=self.tracer)
         self.precompute = precompute
+        # Cross-node tracing (repro.obs.flight.TelemetryHub): when set, a
+        # party's modexps are additionally attributed to whichever of its
+        # flight-recorder spans is open, and bootstrap (round-0) work can
+        # open node spans via :meth:`node_span`.
+        self.telemetry = telemetry
 
     def party_rng(self, party_id: str) -> DeterministicRng:
         """Independent randomness stream for one party."""
@@ -149,12 +161,26 @@ class SmcContext:
         self.crypto_ops.add("total.modexp", count)
         if phase == "offline":
             self.crypto_ops.add("offline.modexp", count)
+        if self.telemetry is not None:
+            self.telemetry.add_cost(party_id, "modexp", count)
         if self.metrics is not None:
             self.metrics.histogram(
                 "repro_crypto_modexp_batch_size",
                 buckets=BATCH_BUCKETS,
                 help="modexps recorded per bulk call",
             ).observe(count)
+
+    def node_span(self, party_id: str, name: str, attributes: dict | None = None):
+        """Context manager: a flight-recorder span at ``party_id``.
+
+        Protocol ``start()`` methods run on the coordinator thread before
+        any message is delivered, so their per-party work (encrypting own
+        sets, dealing shares, blinding values) has no handler span to land
+        in — this opens one explicitly.  A no-op without a telemetry hub.
+        """
+        if self.telemetry is None:
+            return nullcontext(None)
+        return self.telemetry.node_span(party_id, name, attributes)
 
     # -- precompute draws (total: pool hit, else the legacy inline path) -------
 

@@ -96,18 +96,21 @@ class _CompareParty:
         self.verdict: str | None = None
 
     def start(self, transport) -> None:
-        transport.send(
-            Message(
-                src=self.party_id,
-                dst=self.ttp_id,
-                kind="scmp.blinded",
-                payload={
-                    "session": self.session,
-                    "w": self.blinding.apply(self.value),
-                    "left": self.left_id,
-                },
+        with self.ctx.node_span(
+            self.party_id, "node.scmp.blind", {"node": self.party_id}
+        ):
+            transport.send(
+                Message(
+                    src=self.party_id,
+                    dst=self.ttp_id,
+                    kind="scmp.blinded",
+                    payload={
+                        "session": self.session,
+                        "w": self.blinding.apply(self.value),
+                        "left": self.left_id,
+                    },
+                )
             )
-        )
 
     def handle(self, msg: Message, transport) -> None:
         if msg.kind != "scmp.verdict":
@@ -294,18 +297,21 @@ class _BatchCompareParty:
         self.verdicts: list[str] | None = None
 
     def start(self, transport) -> None:
-        transport.send(
-            Message(
-                src=self.party_id,
-                dst=self.ttp_id,
-                kind="scmpb.blinded",
-                payload={
-                    "session": self.session,
-                    "ws": [self.blinding.apply(v) for v in self.values],
-                    "left": self.left_id,
-                },
+        with self.ctx.node_span(
+            self.party_id, "node.scmpb.blind", {"node": self.party_id}
+        ):
+            transport.send(
+                Message(
+                    src=self.party_id,
+                    dst=self.ttp_id,
+                    kind="scmpb.blinded",
+                    payload={
+                        "session": self.session,
+                        "ws": [self.blinding.apply(v) for v in self.values],
+                        "left": self.left_id,
+                    },
+                )
             )
-        )
 
     def handle(self, msg: Message, transport) -> None:
         if msg.kind != "scmpb.verdict":

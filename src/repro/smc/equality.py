@@ -145,18 +145,21 @@ class EqualityParty:
         self.verdict: bool | None = None
 
     def start(self, transport) -> None:
-        transport.send(
-            Message(
-                src=self.party_id,
-                dst=self.ttp_id,
-                kind="seq.blinded",
-                payload={
-                    "session": self.session,
-                    "w": self.blinding.apply(self.mapped),
-                    "reply_to": self.reply_to,
-                },
+        with self.ctx.node_span(
+            self.party_id, "node.seq.blind", {"node": self.party_id}
+        ):
+            transport.send(
+                Message(
+                    src=self.party_id,
+                    dst=self.ttp_id,
+                    kind="seq.blinded",
+                    payload={
+                        "session": self.session,
+                        "w": self.blinding.apply(self.mapped),
+                        "reply_to": self.reply_to,
+                    },
+                )
             )
-        )
 
     def handle(self, msg: Message, transport) -> None:
         if msg.kind != "seq.verdict":

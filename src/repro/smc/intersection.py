@@ -130,8 +130,11 @@ class IntersectionParty:
 
     def start(self, transport) -> None:
         """Round 0 (pipelined mode): encrypt own set and push it onto the ring."""
-        encrypted = self._encrypt_own(transport)
-        self._advance(transport, origin=self.party_id, hops=1, elements=encrypted)
+        with self.ctx.node_span(
+            self.party_id, "node.ssi.encrypt", {"node": self.party_id}
+        ):
+            encrypted = self._encrypt_own(transport)
+            self._advance(transport, origin=self.party_id, hops=1, elements=encrypted)
 
     def _advance(self, transport, origin: str, hops: int, elements: list[int]) -> None:
         if hops >= len(self.parties):
@@ -207,7 +210,10 @@ class IntersectionParty:
 
     def start_convoy(self, transport) -> None:
         """Coalesced mode bootstrap: only the collector calls this."""
-        self._process_convoy(transport, entries=[], joined=[])
+        with self.ctx.node_span(
+            self.party_id, "node.ssi.encrypt", {"node": self.party_id}
+        ):
+            self._process_convoy(transport, entries=[], joined=[])
 
     def _on_convoy(self, msg: Message, transport) -> None:
         self._process_convoy(

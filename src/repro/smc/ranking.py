@@ -152,14 +152,17 @@ class RankingParty:
         self.verdict: dict | None = None
 
     def start(self, transport) -> None:
-        transport.send(
-            Message(
-                src=self.party_id,
-                dst=self.ttp_id,
-                kind="rank.blinded",
-                payload={"w": self.blinding.apply(self.value, self._jitter)},
+        with self.ctx.node_span(
+            self.party_id, "node.rank.blind", {"node": self.party_id}
+        ):
+            transport.send(
+                Message(
+                    src=self.party_id,
+                    dst=self.ttp_id,
+                    kind="rank.blinded",
+                    payload={"w": self.blinding.apply(self.value, self._jitter)},
+                )
             )
-        )
 
     def handle(self, msg: Message, transport) -> None:
         if msg.kind != "rank.verdict":

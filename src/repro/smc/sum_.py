@@ -80,17 +80,20 @@ class SumParty:
         """Deal one share of our secret to every party (including ourselves)."""
         # The polynomial tail is secret-independent; a warmed precompute
         # pool supplies its evaluations so only `secret + t(x_j)` is online.
-        shares = self.ctx.shamir_share(
-            self.scheme, self.party_id, self.value, self._rng
-        )
-        for peer, share in zip(self.parties, shares):
-            payload = {"y": share.y, "from": self.party_id}
-            if peer == self.party_id:
-                self._accept_share(self.party_id, share.y, transport)
-            else:
-                transport.send(
-                    Message(src=self.party_id, dst=peer, kind="ssum.share", payload=payload)
-                )
+        with self.ctx.node_span(
+            self.party_id, "node.ssum.deal", {"node": self.party_id}
+        ):
+            shares = self.ctx.shamir_share(
+                self.scheme, self.party_id, self.value, self._rng
+            )
+            for peer, share in zip(self.parties, shares):
+                payload = {"y": share.y, "from": self.party_id}
+                if peer == self.party_id:
+                    self._accept_share(self.party_id, share.y, transport)
+                else:
+                    transport.send(
+                        Message(src=self.party_id, dst=peer, kind="ssum.share", payload=payload)
+                    )
 
     def handle(self, msg: Message, transport) -> None:
         if msg.kind == "ssum.share":

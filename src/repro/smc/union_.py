@@ -68,21 +68,24 @@ class UnionParty:
         self.state = _UnionState()
 
     def start(self, transport) -> None:
-        with self.ctx.tracer.span(
-            "ssu.hop",
-            {
-                "party": self.party_id,
-                "set_size": len(self.encoded),
-                "engine": self.ctx.engine.name,
-            },
+        with self.ctx.node_span(
+            self.party_id, "node.ssu.encrypt", {"node": self.party_id}
         ):
-            with transport.stats.time_stage("ssu.encrypt"):
-                encrypted = self.cipher.encrypt_set(
-                    self.encoded, engine=self.ctx.engine
-                )
-        self.ctx.count_modexp(self.party_id, len(encrypted))
-        self._rng.shuffle(encrypted)
-        self._advance(transport, hops=1, elements=encrypted)
+            with self.ctx.tracer.span(
+                "ssu.hop",
+                {
+                    "party": self.party_id,
+                    "set_size": len(self.encoded),
+                    "engine": self.ctx.engine.name,
+                },
+            ):
+                with transport.stats.time_stage("ssu.encrypt"):
+                    encrypted = self.cipher.encrypt_set(
+                        self.encoded, engine=self.ctx.engine
+                    )
+            self.ctx.count_modexp(self.party_id, len(encrypted))
+            self._rng.shuffle(encrypted)
+            self._advance(transport, hops=1, elements=encrypted)
 
     def _advance(self, transport, hops: int, elements: list[int]) -> None:
         if hops >= len(self.parties):

@@ -120,6 +120,19 @@ class TestDocsReferenceRealKnobs:
             f"REPRO_SCHED_* knobs missing from the docs: {undocumented}"
         )
 
+    def test_every_obs_knob_documented(self):
+        """Reverse sweep for observability: every ``REPRO_OBS_*`` knob the
+        obs layer reads (flight-recorder sizing, orphan buffer, leakage
+        budget, HTTP endpoint) must appear in the docs."""
+        obs_source = "\n".join(read(p) for p in (SRC / "obs").rglob("*.py"))
+        defined = set(re.findall(r"\bREPRO_OBS_[A-Z_]*[A-Z]\b", obs_source))
+        assert defined, "expected REPRO_OBS_* knobs in repro.obs"
+        docs = all_docs()
+        undocumented = sorted(v for v in defined if v not in docs)
+        assert not undocumented, (
+            f"REPRO_OBS_* knobs missing from the docs: {undocumented}"
+        )
+
     def test_every_precompute_knob_documented(self):
         """Same reverse sweep for the offline/online split: every
         ``REPRO_PRECOMPUTE*`` knob read by ``repro.precompute`` must be

@@ -1,0 +1,128 @@
+"""Unit tests: cross-node trace assembly and critical-path analysis."""
+
+from repro.obs.assemble import assemble_forest, assemble_trace, trace_ids
+from repro.obs.flight import FlightRecorder
+from repro.obs.report import critical_path, render_critical_path
+from repro.obs.tracer import Span, Tracer
+
+
+def _clock(values):
+    it = iter(values)
+    return lambda: next(it)
+
+
+class TestAssembleForest:
+    def _cross_node_trace(self):
+        # Coordinator opens the root; two nodes record spans whose
+        # remote_parent points back at it; one node nests locally.
+        coord = Tracer()
+        with coord.span("audit.query") as root:
+            pass
+        recs = {n: FlightRecorder(n, capacity=8) for n in ("P1", "P2")}
+        with recs["P1"].span(
+            "node.hop", trace_id=root.trace_id, remote_parent=root.ref
+        ):
+            with recs["P1"].span("node.inner"):
+                pass
+        with recs["P2"].span(
+            "node.hop", trace_id=root.trace_id, remote_parent=root.ref
+        ):
+            pass
+        spans = coord.finished_spans()
+        for rec in recs.values():
+            spans += rec.finished_spans()
+        return root, spans
+
+    def test_single_tree_with_resolved_remote_parents(self):
+        root, spans = self._cross_node_trace()
+        assembled = assemble_forest(spans)
+        assert len(assembled) == 4
+        roots = [s for s in assembled if s.parent_id is None]
+        assert [r.name for r in roots] == ["audit.query"]
+        new_root = roots[0]
+        hops = [s for s in assembled if s.name == "node.hop"]
+        assert all(h.parent_id == new_root.span_id for h in hops)
+        assert all(h.remote_parent is None for h in hops)
+        inner = next(s for s in assembled if s.name == "node.inner")
+        p1_hop = next(h for h in hops if h.node == "P1")
+        assert inner.parent_id == p1_hop.span_id
+
+    def test_ids_renumbered_into_one_space(self):
+        _root, spans = self._cross_node_trace()
+        assembled = assemble_forest(spans)
+        ids = sorted(s.span_id for s in assembled)
+        assert ids == list(range(1, len(assembled) + 1))
+
+    def test_inputs_never_mutated(self):
+        _root, spans = self._cross_node_trace()
+        before = [(s.span_id, s.parent_id, s.remote_parent) for s in spans]
+        assemble_forest(spans)
+        assert [(s.span_id, s.parent_id, s.remote_parent) for s in spans] == before
+
+    def test_unresolved_remote_parent_becomes_forensic_root(self):
+        orphan = Span(
+            name="node.lost", span_id=1, parent_id=None, start=0.0, end=1.0,
+            node="P9", trace_id="t", remote_parent="coord:99",
+        )
+        [out] = assemble_forest([orphan])
+        assert out.parent_id is None
+        assert out.attributes["unresolved_parent"] == "coord:99"
+        assert out.remote_parent == "coord:99"
+
+    def test_identity_for_single_tracer_trace(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        spans = tracer.finished_spans()
+        assembled = assemble_forest(spans)
+        assert {(s.name, s.span_id, s.parent_id) for s in assembled} == {
+            (s.name, s.span_id, s.parent_id) for s in spans
+        }
+
+    def test_trace_ids_and_single_trace_selection(self):
+        root, spans = self._cross_node_trace()
+        other = Tracer(node="other")
+        with other.span("unrelated"):
+            pass
+        spans = spans + other.finished_spans()
+        ids = trace_ids(spans)
+        assert root.trace_id in ids and len(ids) == 2
+        only = assemble_trace(spans, root.trace_id)
+        assert all(s.trace_id == root.trace_id for s in only)
+        assert len(only) == 4
+
+
+class TestCriticalPath:
+    def _trace_with_slow_hop(self):
+        # root [0,10]; fast child [1,3]; slow child [4,9] with nested [5,8].
+        clock = _clock([0.0, 1.0, 3.0, 4.0, 5.0, 8.0, 9.0, 10.0])
+        tracer = Tracer(clock=clock)
+        with tracer.span("audit.query"):
+            with tracer.span("fast.hop"):
+                pass
+            with tracer.span("slow.hop"):
+                with tracer.span("slow.inner"):
+                    pass
+        return tracer.finished_spans()
+
+    def test_path_follows_latest_finishing_child(self):
+        rows = critical_path(self._trace_with_slow_hop())
+        assert [r["name"] for r in rows] == [
+            "audit.query", "slow.hop", "slow.inner"
+        ]
+        root = rows[0]
+        assert root["duration"] == 10.0
+        assert root["self"] == 5.0  # 10 minus slow.hop's 5
+        assert rows[1]["self"] == 2.0  # 5 minus slow.inner's 3
+        assert rows[2]["of_root"] == 0.3
+
+    def test_render_names_dominant_span(self):
+        text = render_critical_path(self._trace_with_slow_hop())
+        assert "critical path" in text
+        assert "dominant: audit.query" in text
+        assert "slow.hop" in text and "fast.hop" not in text
+
+    def test_empty_trace(self):
+        assert critical_path([]) == []
+        assert render_critical_path([]) == "(empty trace)"

@@ -103,3 +103,41 @@ class TestExport:
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
         assert MetricsRegistry().snapshot() == {}
+
+
+class TestExpositionHardening:
+    def test_escape_label_value(self):
+        from repro.obs.export import escape_label_value
+
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value("plain") == "plain"
+
+    def test_escape_help_text(self):
+        from repro.obs.export import escape_help_text
+
+        assert escape_help_text("line\nbreak") == "line\\nbreak"
+        assert escape_help_text("back\\slash") == "back\\\\slash"
+        # Quotes stay verbatim on HELP lines.
+        assert escape_help_text('say "hi"') == 'say "hi"'
+
+    def test_rendered_labels_and_help_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "odd_total",
+            help="counts\nodd things",
+            labels={"stage": 'enc "fast"\npath'},
+        ).inc()
+        text = reg.render_prometheus()
+        assert "# HELP odd_total counts\\nodd things" in text
+        assert 'odd_total{stage="enc \\"fast\\"\\npath"} 1' in text
+        # Exactly one physical line per sample: nothing leaked a newline.
+        assert all(
+            line.startswith(("#", "odd_total")) for line in text.strip().splitlines()
+        )
+
+    def test_histogram_le_label_reserved(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.histogram("lat", buckets=(1, 2), labels={"le": "0.5"})

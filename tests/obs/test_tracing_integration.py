@@ -178,8 +178,13 @@ class TestNoopIdentity:
         r1 = plain.query(CRITERION)
         r2 = traced.query(CRITERION)
         assert r1.glsns == r2.glsns
-        assert (r1.messages, r1.bytes) == (r2.messages, r2.bytes)
+        assert r1.messages == r2.messages
         assert plain.last_query_cost.modexp == traced.last_query_cost.modexp
+        # Tracing puts trace-context ids (``tid``/``psp``) on the wire, so
+        # traced runs carry strictly more bytes — bounded overhead, and the
+        # message/modexp counts never change.
+        assert r2.bytes > r1.bytes
+        assert (r2.bytes - r1.bytes) / r1.bytes < 0.5
 
 
 class TestTraceReportCli:

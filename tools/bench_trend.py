@@ -40,41 +40,55 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
 
-# file name -> (experiment, headline label, unit, extractor).
+# (file name, experiment, headline label, unit, extractor).  A file may
+# contribute more than one headline (P1 carries both the engine speedup
+# and the observability propagation-overhead guard).
 # unit "x" = speedup ratio, higher is better; unit "pct" = overhead
 # percentage points, lower is better.
-HEADLINES = {
-    "BENCH_p1.json": (
+HEADLINES = [
+    (
+        "BENCH_p1.json",
         "P1 parallel exponentiation",
         "best engine speedup",
         "x",
         lambda d: max(e["speedup"] for e in d["engines"]),
     ),
-    "BENCH_p3.json": (
+    (
+        "BENCH_p1.json",
+        "P1 trace propagation",
+        "obs propagation overhead",
+        "pct",
+        lambda d: d["propagation"]["overhead_pct"],
+    ),
+    (
+        "BENCH_p3.json",
         "P3 incremental recomputation",
         "warm-cache query speedup",
         "x",
         lambda d: d["query"]["speedup"],
     ),
-    "BENCH_p4.json": (
+    (
+        "BENCH_p4.json",
         "P4 fault-tolerant protocols",
         "reliable-delivery overhead",
         "pct",
         lambda d: d["overhead"]["overhead_pct"],
     ),
-    "BENCH_p5.json": (
+    (
+        "BENCH_p5.json",
         "P5 concurrent scheduler",
         "throughput speedup",
         "x",
         lambda d: d["throughput"]["speedup"],
     ),
-    "BENCH_p6.json": (
+    (
+        "BENCH_p6.json",
         "P6 offline/online split",
         "online-phase speedup",
         "x",
         lambda d: d["online_phase"]["speedup"],
     ),
-}
+]
 
 
 def load_current(name: str) -> dict | None:
@@ -100,8 +114,7 @@ def load_baseline(name: str, ref: str, directory: str | None) -> dict | None:
     return json.loads(proc.stdout)
 
 
-def headline(name: str, data: dict) -> float | None:
-    extractor = HEADLINES[name][3]
+def headline(extractor, data: dict) -> float | None:
     try:
         return float(extractor(data))
     except (KeyError, IndexError, TypeError, ValueError):
@@ -142,15 +155,15 @@ def main(argv: list[str]) -> int:
 
     rows = []
     regressions = []
-    for name, (experiment, label, unit, _) in sorted(HEADLINES.items()):
+    for name, experiment, label, unit, extractor in HEADLINES:
         current = load_current(name)
-        value = headline(name, current) if current else None
+        value = headline(extractor, current) if current else None
         if not args.check:
             rows.append((experiment, label, fmt(value, unit)))
             continue
 
         base = load_baseline(name, args.baseline_ref, args.baseline_dir)
-        base_value = headline(name, base) if base else None
+        base_value = headline(extractor, base) if base else None
         verdict = "ok"
         if value is None or base_value is None:
             verdict = "skipped (one side missing)"

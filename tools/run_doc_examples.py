@@ -32,7 +32,8 @@ sys.path.insert(0, str(REPO / "src"))
 ALLOWLIST: dict[str, list[int]] = {
     "README.md": [0],               # Quickstart: full service round-trip
     "docs/observability.md": [0,    # Tracer spans/events
-                              3],   # MetricsRegistry counters/histograms
+                              2,    # TelemetryHub node spans + cost folding
+                              4],   # MetricsRegistry counters/histograms
     "docs/resilience.md": [0,       # RetryPolicy / Deadline knobs
                            1],      # failover: crash -> degraded result
 }
