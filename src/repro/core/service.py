@@ -104,6 +104,27 @@ class ConfidentialAuditingService:
     faults:
         Optional :class:`~repro.net.faults.FaultPlan` applied to every
         per-query network — the chaos-testing hook.
+    prime:
+        Explicit shared SMC prime, overriding the ``prime_bits`` table
+        lookup.  A sharded deployment with tenant pinning passes a fresh
+        per-shard prime here so pinned tenants never share a cipher
+        modulus (see docs/sharding.md).
+    allocator:
+        Optional glsn allocator for the store.  A shard ring receives a
+        :class:`~repro.logstore.glsn.RoutedGlsnAllocator` so every append
+        lands at the glsn the :class:`~repro.shard.ShardRouter` assigned.
+    realm:
+        Identity prefix for DLA-node enrollment (default ``"real"``).
+        Shards use ``shard<k>`` so the per-shard credential authorities
+        issue distinguishable identities even for equal node ids.
+    shard_label:
+        Short label (``"s0"``...) stamped on this service's scheduler
+        spans and channel tags when it runs as one shard of a
+        :class:`~repro.shard.ShardedAuditingService`.
+    obs_from_env:
+        When ``False``, skip the ``REPRO_OBS_HTTP_PORT`` auto-start (a
+        sharded deployment serves one merged endpoint at the coordinator
+        instead of N clashing per-shard binds).
     """
 
     def __init__(
@@ -117,6 +138,11 @@ class ConfidentialAuditingService:
         metrics=None,
         resilience: RetryPolicy | None = None,
         faults=None,
+        prime: int | None = None,
+        allocator=None,
+        realm: str = "real",
+        shard_label: str | None = None,
+        obs_from_env: bool = True,
     ) -> None:
         self.rng = rng or system_rng()
         self.resilience = resilience
@@ -125,6 +151,9 @@ class ConfidentialAuditingService:
         self.plan = plan
         self.tracer = tracer or NOOP_TRACER
         self.metrics = metrics
+        #: Set when this service is one ring of a sharded cluster; the
+        #: scheduler stamps it on spans/channels, trace-report shows it.
+        self.shard_label = shard_label
         #: Cross-node tracing: one bounded flight recorder per participant
         #: node, wired through every per-query network and SMC context so
         #: trace context propagates on the wire (inert with a noop tracer).
@@ -171,12 +200,13 @@ class ConfidentialAuditingService:
             plan,
             self.ticket_authority,
             AccumulatorParams.generate(256, self.rng.spawn("accumulator")),
+            allocator=allocator,
             tracer=self.tracer,
         )
 
         # Relaxed-SMC context and executor.
         self.ctx = SmcContext(
-            shared_prime(prime_bits),
+            prime if prime is not None else shared_prime(prime_bits),
             self.rng.spawn("smc"),
             tracer=self.tracer,
             metrics=self.metrics,
@@ -192,12 +222,13 @@ class ConfidentialAuditingService:
             telemetry=self.telemetry,
         )
         self.node_credentials: dict[str, NodeCredentials] = {}
+        self.realm = realm
         founder_id = plan.node_ids[0]
-        founder = self.credential_authority.enroll(f"real:{founder_id}")
+        founder = self.credential_authority.enroll(f"{realm}:{founder_id}")
         self.node_credentials[founder_id] = founder
         self.membership = DlaMembership(self.credential_authority, founder)
         for previous, node_id in zip(plan.node_ids, plan.node_ids[1:]):
-            creds = self.credential_authority.enroll(f"real:{node_id}")
+            creds = self.credential_authority.enroll(f"{realm}:{node_id}")
             self.node_credentials[node_id] = creds
             self.membership.admit_direct(
                 self.node_credentials[previous],
@@ -217,7 +248,9 @@ class ConfidentialAuditingService:
 
         #: Live telemetry endpoint, opt-in via ``REPRO_OBS_HTTP_PORT``
         #: (``None`` when the variable is unset).
-        self.obs_server: ObsServer | None = start_from_env(self)
+        self.obs_server: ObsServer | None = (
+            start_from_env(self) if obs_from_env else None
+        )
 
     # -- offline phase (repro.precompute) ------------------------------------------
 

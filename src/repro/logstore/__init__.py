@@ -22,6 +22,7 @@ from repro.logstore.glsn import (
     BlockGlsnAllocator,
     GlsnAllocator,
     GlsnBlock,
+    RoutedGlsnAllocator,
 )
 from repro.logstore.glsn_service import (
     GlsnClient,
@@ -64,6 +65,7 @@ __all__ = [
     "GlsnAllocator",
     "BlockGlsnAllocator",
     "GlsnBlock",
+    "RoutedGlsnAllocator",
     "GlsnCoordinator",
     "GlsnClient",
     "audit_grants",

@@ -20,7 +20,12 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, LogStoreError
 
-__all__ = ["GlsnAllocator", "BlockGlsnAllocator", "GlsnBlock"]
+__all__ = [
+    "GlsnAllocator",
+    "BlockGlsnAllocator",
+    "GlsnBlock",
+    "RoutedGlsnAllocator",
+]
 
 # The paper's Table 1 starts its example glsns at 0x139aef78; using the same
 # origin makes the regenerated tables byte-identical.
@@ -109,3 +114,42 @@ class BlockGlsnAllocator:
         if block is None or block.remaining == 0:
             block = self.lease(node_id)
         return block.take()
+
+
+class RoutedGlsnAllocator(GlsnAllocator):
+    """Allocator for one shard of a sharded cluster: values are *pinned*.
+
+    In a multi-ring deployment the glsn space is owned by the
+    :class:`~repro.shard.ShardRouter`'s single global allocator — per-shard
+    stores must append at exactly the glsn the router assigned, never
+    invent their own.  The router pins the routed value immediately before
+    the shard's ``append``; allocating without a pinned value is a wiring
+    bug and raises.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(start=0)
+        self._pinned: list[int] = []
+
+    def pin(self, glsn: int) -> None:
+        """Queue the next routed glsn (FIFO when appends are batched)."""
+        if glsn < 0:
+            raise ConfigurationError("glsn must be non-negative")
+        self._pinned.append(glsn)
+
+    def allocate(self) -> int:
+        if not self._pinned:
+            raise LogStoreError(
+                "routed allocator has no pinned glsn — appends to a shard "
+                "store must go through the shard router"
+            )
+        return self._pinned.pop(0)
+
+    def allocate_many(self, count: int) -> list[int]:
+        return [self.allocate() for _ in range(count)]
+
+    @property
+    def next_value(self) -> int:
+        if not self._pinned:
+            raise LogStoreError("routed allocator has no pinned glsn")
+        return self._pinned[0]

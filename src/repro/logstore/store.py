@@ -154,6 +154,28 @@ class FragmentStore:
             if predicate is None or predicate(frag):
                 yield frag
 
+    # -- shard migration --------------------------------------------------------
+
+    def evict(self, glsn: int) -> Fragment:
+        """Node-internal removal used by shard rebalancing (no ticket).
+
+        ``move_shard`` relocates fragments between rings: the destination
+        adopts them through the ordinary ticketed :meth:`put`, the source
+        drops its copy here.  Unlike :meth:`delete` this is not the user
+        delete path — the record still exists, on another shard — so no
+        DELETE right is involved; ACL grants referencing the glsn become
+        inert (reads raise :class:`UnknownGlsnError` on this node).
+        Returns the evicted fragment.
+        """
+        frag = self._read(glsn)
+        del self._fragments[glsn]
+        self._accumulators.pop(glsn, None)
+        # Same chain pruning as delete: anchors at/after the evicted glsn
+        # fold a fragment this store no longer holds.
+        self._chain = [entry for entry in self._chain if entry[0] < glsn]
+        self._bump(glsn, present=False)
+        return frag
+
     # -- fault injection (tests/benches) ---------------------------------------
 
     def tamper(self, glsn: int, attribute: str, new_value) -> None:
@@ -267,6 +289,17 @@ class DistributedLogStore:
                 # missing fragment on one node as already-deleted there.
                 continue
         self._chain_value = None  # combined anchors after this glsn are void
+
+    def suspend_chain(self) -> None:
+        """Invalidate the combined-ring chain anchor after a migration.
+
+        Fragments evicted by ``move_shard`` stay folded into the running
+        chain value; new appends anchored on it would fail verification
+        against the store's *present* fragments.  Dropping the chain makes
+        the batched integrity ring fall back to its per-glsn mode — slower
+        but correct — exactly as a user-path delete does.
+        """
+        self._chain_value = None
 
     def node_store(self, node_id: str) -> FragmentStore:
         try:

@@ -387,7 +387,10 @@ class QueryScheduler:
 
     def _execute(self, handle: QueryHandle, qplan: QueryPlan) -> QueryResult:
         service = self.service
-        tag = f"q{handle.seq}"
+        # One ring of a sharded cluster prefixes its channel tags with the
+        # shard label, so multiplexed traffic stays attributable per shard.
+        shard = getattr(service, "shard_label", None)
+        tag = f"{shard}.q{handle.seq}" if shard else f"q{handle.seq}"
         channel = self.mux.channel(tag)
         qctx = SmcContext(
             service.ctx.prime,
@@ -410,11 +413,11 @@ class QueryScheduler:
             subplan_cache=self._subplan_flight,
         )
         vt_start = self.net.now
+        span_attrs = {"criterion": qplan.criterion_text, "channel": tag}
+        if shard:
+            span_attrs["shard"] = shard
         try:
-            with service.tracer.span(
-                "sched.query",
-                {"criterion": qplan.criterion_text, "channel": tag},
-            ) as span:
+            with service.tracer.span("sched.query", span_attrs) as span:
                 result = executor.execute(
                     qplan, net=channel, deadline=handle.deadline
                 )

@@ -1,0 +1,65 @@
+"""Environment knobs for the sharded cluster (``REPRO_SHARD_*``).
+
+* ``REPRO_SHARD_COUNT`` — default shard (ring) count when the caller
+  does not pass one (default 2);
+* ``REPRO_SHARD_BLOCK_SIZE`` — glsn-range stripe width of the default
+  placement rule and the tenant-pinning lease size (default 64; 1 is
+  per-record round-robin, the most balanced split);
+* ``REPRO_SHARD_TENANT_PINNING`` — ``on`` enables tenant→shard pinning
+  with per-shard (hence per-pinned-tenant) fresh SMC primes and keys
+  (default ``off``).
+
+All three are read once at :class:`ShardConfig.from_env`; explicit
+constructor arguments always win over the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ShardConfig",
+    "SHARD_COUNT_ENV_VAR",
+    "SHARD_BLOCK_SIZE_ENV_VAR",
+    "SHARD_TENANT_PINNING_ENV_VAR",
+]
+
+SHARD_COUNT_ENV_VAR = "REPRO_SHARD_COUNT"
+SHARD_BLOCK_SIZE_ENV_VAR = "REPRO_SHARD_BLOCK_SIZE"
+SHARD_TENANT_PINNING_ENV_VAR = "REPRO_SHARD_TENANT_PINNING"
+
+_ON_VALUES = {"on", "1", "true", "yes", "enabled"}
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{name}={raw!r} is not an integer") from None
+    if value < 1:
+        raise ConfigurationError(f"{name} must be positive")
+    return value
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Sharding knobs; :meth:`from_env` reads the ``REPRO_SHARD_*`` set."""
+
+    count: int = 2
+    block_size: int = 64
+    tenant_pinning: bool = False
+
+    @classmethod
+    def from_env(cls) -> "ShardConfig":
+        raw_pin = os.environ.get(SHARD_TENANT_PINNING_ENV_VAR, "off")
+        return cls(
+            count=_env_int(SHARD_COUNT_ENV_VAR, cls.count),
+            block_size=_env_int(SHARD_BLOCK_SIZE_ENV_VAR, cls.block_size),
+            tenant_pinning=raw_pin.strip().lower() in _ON_VALUES,
+        )

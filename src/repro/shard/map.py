@@ -1,0 +1,209 @@
+"""The shard map: versioned glsn-range → shard placement metadata.
+
+Placement is two-layered:
+
+* a **default striping rule** — the glsn space is cut into fixed-width
+  blocks of ``block_size`` starting at the allocator origin, and block
+  ``k`` lands on shard ``k mod shards``.  This needs no stored state, so
+  the map stays O(overrides) however large the log grows, and (with a
+  sequential global allocator) assigns every record the *same* glsn it
+  would have in a single-ring deployment — the property the scatter-gather
+  result-identity tests pin down;
+* **explicit overrides** — half-open ``[lo, hi)`` ranges materialized by
+  rebalancing (:meth:`ShardMap.split_range`, :meth:`ShardMap.move_range`)
+  and tenant-pinning leases, consulted before the striping rule.
+
+Every placement change bumps :attr:`ShardMap.version`.  Routers embed the
+version in receipts; an append presented with a stale version is rejected
+with the typed :class:`~repro.errors.StaleShardMapError` instead of being
+silently mis-sharded.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ShardMapError, UnknownShardError
+from repro.logstore.glsn import PAPER_GLSN_START
+
+__all__ = ["ShardRange", "ShardMap"]
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """A half-open glsn range ``[lo, hi)`` placed on one shard."""
+
+    lo: int
+    hi: int
+    shard: int
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise ShardMapError(f"empty shard range [{self.lo:#x}, {self.hi:#x})")
+
+    def __contains__(self, glsn: int) -> bool:
+        return self.lo <= glsn < self.hi
+
+
+class ShardMap:
+    """Versioned placement: glsn → shard via overrides, else striping."""
+
+    def __init__(
+        self,
+        shards: int,
+        start: int = PAPER_GLSN_START,
+        block_size: int = 64,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError("a cluster needs at least one shard")
+        if block_size < 1:
+            raise ConfigurationError("shard block size must be positive")
+        if start < 0:
+            raise ConfigurationError("glsn origin must be non-negative")
+        self.shards = shards
+        self.start = start
+        self.block_size = block_size
+        self._version = 1
+        # Sorted, non-overlapping explicit ranges; consulted before the
+        # striping rule.  bisect keys on lo.
+        self._overrides: list[ShardRange] = []
+
+    # -- readout -----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic placement version; bumped by every mutation."""
+        return self._version
+
+    @property
+    def shard_ids(self) -> list[int]:
+        return list(range(self.shards))
+
+    def check_shard(self, shard: int) -> int:
+        if not 0 <= shard < self.shards:
+            raise UnknownShardError(
+                f"shard {shard} outside cluster of {self.shards}"
+            )
+        return shard
+
+    def _override_for(self, glsn: int) -> ShardRange | None:
+        idx = bisect.bisect_right(self._overrides, glsn, key=lambda r: r.lo) - 1
+        if idx >= 0 and glsn in self._overrides[idx]:
+            return self._overrides[idx]
+        return None
+
+    def _default_block(self, glsn: int) -> ShardRange:
+        """The striping block containing ``glsn`` with its default shard."""
+        if glsn < self.start:
+            raise ShardMapError(
+                f"glsn {glsn:#x} precedes the allocator origin {self.start:#x}"
+            )
+        k = (glsn - self.start) // self.block_size
+        lo = self.start + k * self.block_size
+        return ShardRange(lo=lo, hi=lo + self.block_size, shard=k % self.shards)
+
+    def shard_for(self, glsn: int) -> int:
+        """The shard owning ``glsn`` under the current map."""
+        override = self._override_for(glsn)
+        if override is not None:
+            return override.shard
+        return self._default_block(glsn).shard
+
+    def range_for(self, glsn: int) -> ShardRange:
+        """The placement range containing ``glsn`` (override or block)."""
+        override = self._override_for(glsn)
+        return override if override is not None else self._default_block(glsn)
+
+    # -- mutation ----------------------------------------------------------
+
+    def _bump(self) -> int:
+        self._version += 1
+        return self._version
+
+    def _insert(self, new: ShardRange) -> None:
+        idx = bisect.bisect_left(self._overrides, new.lo, key=lambda r: r.lo)
+        before = self._overrides[idx - 1] if idx > 0 else None
+        after = self._overrides[idx] if idx < len(self._overrides) else None
+        if (before is not None and before.hi > new.lo) or (
+            after is not None and new.hi > after.lo
+        ):
+            raise ShardMapError(
+                f"range [{new.lo:#x}, {new.hi:#x}) overlaps an existing override"
+            )
+        self._overrides.insert(idx, new)
+
+    def split_range(self, pivot: int) -> tuple[ShardRange, ShardRange]:
+        """Split the placement range containing ``pivot`` at ``pivot``.
+
+        Materializes the containing range (a striping block, unless it is
+        already an override) as two explicit overrides with unchanged
+        placement, bumps the version, and returns the pair.  The split is
+        the preparation step for :meth:`move_range`: afterwards either
+        half can move independently.
+        """
+        current = self.range_for(pivot)
+        if pivot <= current.lo or pivot >= current.hi:
+            raise ShardMapError(
+                f"pivot {pivot:#x} does not strictly split "
+                f"[{current.lo:#x}, {current.hi:#x})"
+            )
+        if current in self._overrides:
+            self._overrides.remove(current)
+        low = ShardRange(lo=current.lo, hi=pivot, shard=current.shard)
+        high = ShardRange(lo=pivot, hi=current.hi, shard=current.shard)
+        self._insert(low)
+        self._insert(high)
+        self._bump()
+        return low, high
+
+    def move_range(self, lo: int, hi: int, dst: int) -> int:
+        """Re-place the exact range ``[lo, hi)`` onto shard ``dst``.
+
+        Bounds must name an existing override or one whole striping block
+        — anything else raises :class:`~repro.errors.ShardMapError`
+        (``split_range`` first to carve finer boundaries).  Returns the
+        source shard; bumps the version even when ``dst`` equals it, so
+        clients observing the move always see a new map.
+        """
+        self.check_shard(dst)
+        current = self.range_for(lo)
+        if (current.lo, current.hi) != (lo, hi):
+            raise ShardMapError(
+                f"[{lo:#x}, {hi:#x}) is not a placement range boundary "
+                f"(containing range is [{current.lo:#x}, {current.hi:#x})); "
+                f"split_range first"
+            )
+        src = current.shard
+        if current in self._overrides:
+            self._overrides.remove(current)
+        self._insert(ShardRange(lo=lo, hi=hi, shard=dst))
+        self._bump()
+        return src
+
+    def pin_range(self, lo: int, hi: int, shard: int) -> ShardRange:
+        """Place a brand-new override (tenant-pinning lease blocks)."""
+        self.check_shard(shard)
+        pinned = ShardRange(lo=lo, hi=hi, shard=shard)
+        self._insert(pinned)
+        self._bump()
+        return pinned
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def overrides(self) -> list[ShardRange]:
+        return list(self._overrides)
+
+    def describe(self) -> dict:
+        """JSON-safe dump for telemetry and the docs examples."""
+        return {
+            "shards": self.shards,
+            "version": self._version,
+            "block_size": self.block_size,
+            "start": self.start,
+            "overrides": [
+                {"lo": r.lo, "hi": r.hi, "shard": r.shard}
+                for r in self._overrides
+            ],
+        }

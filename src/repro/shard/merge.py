@@ -1,0 +1,140 @@
+"""Coordinator-side merge of per-shard partial query results.
+
+Shards hold *disjoint* glsn ranges, so the cross-shard combinator for a
+scatter-gathered criterion is always set union on glsn — the same
+criterion ran on every ring, each over its own slice of the log.  Two
+merge paths:
+
+* **Disjointness-proof concatenation** (the fast path): when the caller
+  supplies the cluster's :class:`~repro.shard.map.ShardMap` and every
+  partial element is owned by the ring that reported it, the partials
+  are *provably* pairwise disjoint — concatenation is exactly the union,
+  with zero protocol traffic and zero crypto.  This is what makes
+  scatter-gather throughput scale near-linearly: an n-party secure union
+  costs O(n × |result|) modular exponentiations at the coordinator,
+  which would dwarf the per-ring savings (BENCH_p7 measures both).
+* **Secure set union** (the safe path): without a map, or whenever any
+  element falls outside its reporting ring's current ownership (e.g. a
+  partial computed concurrently with a ``move_shard``), the merge runs
+  the paper's secure set union (§3.4): each shard acts as one party
+  contributing its partial result set, and the coordinator collects the
+  union without learning multiplicities.
+
+What the coordinator *does* learn — each shard's partial result set for
+the criterion — is a secondary disclosure, recorded per contributing
+shard in the coordinator's leakage ledger under the ``shard_partial``
+category (documented in docs/threat-model.md).  The query-level ledger is
+then exactly: every shard's own subquery events, plus these merge events,
+plus the union protocol's standard entries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.net.simnet import SimNetwork
+from repro.net.stats import CostReport, CryptoOpCounter
+from repro.resilience import Deadline
+from repro.smc.base import SmcContext
+from repro.smc.union_ import secure_set_union
+
+__all__ = ["merge_shard_glsns", "rollup_cost"]
+
+
+def _provably_disjoint(per_shard: dict[int, list[int]], shard_map) -> bool:
+    """True when every partial element is owned by the ring reporting it.
+
+    Ownership under the *current* map implies pairwise disjointness (the
+    map is a partition of the glsn space), so concatenation is exactly
+    the union.  Any stray element — say, a partial computed while its
+    range was mid-``move_shard`` — fails the proof and forces the secure
+    union instead.
+    """
+    if shard_map is None:
+        return False
+    try:
+        return all(
+            shard_map.shard_for(glsn) == shard
+            for shard, glsns in per_shard.items()
+            for glsn in glsns
+        )
+    except Exception:
+        return False  # unmapped glsn: no proof, run the protocol
+
+
+def merge_shard_glsns(
+    ctx: SmcContext,
+    per_shard: dict[int, list[int]],
+    net: SimNetwork | None = None,
+    deadline: Deadline | None = None,
+    shard_map=None,
+    force_union: bool = False,
+) -> tuple[list[int], CostReport]:
+    """Union the per-shard partial glsn sets at the coordinator.
+
+    ``per_shard`` maps shard id → that ring's matched glsns.  Returns the
+    merged, sorted glsn list plus the merge round's own
+    :class:`~repro.net.stats.CostReport` (the scatter legs' costs live on
+    their shard handles; callers roll both up with :func:`rollup_cost`).
+
+    ``shard_map`` enables the disjointness-proof concatenation fast path
+    (see the module docstring); ``force_union`` disables it so the naive
+    n-party secure union can be measured.  Every contributing (non-empty)
+    shard costs one ``shard_partial`` ledger entry on either path; with
+    at most one contributor the union is the identity and no protocol
+    traffic is spent.
+    """
+    net = net or SimNetwork(tracer=ctx.tracer, metrics=ctx.metrics)
+    ops_before = Counter(ctx.crypto_ops.ops)
+    vt_start = net.now
+    for shard, glsns in sorted(per_shard.items()):
+        if glsns:
+            ctx.leakage.record(
+                "shard.merge",
+                "coordinator",
+                "shard_partial",
+                f"shard s{shard} disclosed its {len(glsns)}-element partial "
+                f"result set to the scatter-gather coordinator",
+            )
+    contributing = {
+        f"shard:{sid}": list(glsns) for sid, glsns in per_shard.items() if glsns
+    }
+    if len(contributing) <= 1:
+        # Union with ≤1 input is the input; skip the ring round-trip.
+        merged = sorted(next(iter(contributing.values()), []))
+    elif not force_union and _provably_disjoint(per_shard, shard_map):
+        merged = sorted(g for glsns in contributing.values() for g in glsns)
+    else:
+        result = secure_set_union(
+            ctx, contributing, net=net, deadline=deadline
+        )
+        merged = sorted(result.any_value)
+    delta = CryptoOpCounter(ops=Counter(ctx.crypto_ops.ops) - ops_before)
+    cost = CostReport.collect(net.stats, delta, virtual_time=net.now - vt_start)
+    return merged, cost
+
+
+def rollup_cost(shard_costs: dict[int, CostReport], merge: CostReport) -> CostReport:
+    """One query-level report from per-shard legs plus the merge round.
+
+    Messages/bytes/crypto/drops add up; virtual time does *not* — the
+    rings are independent networks running concurrently, so the scatter
+    phase's virtual makespan is the **max** over shards, and the merge
+    round (which starts only after the slowest shard answers) adds on
+    top.  This is the quantity BENCH_p7's near-linear-scaling headline is
+    measured in.
+    """
+    crypto: Counter = Counter()
+    for cost in shard_costs.values():
+        crypto.update(cost.crypto_ops)
+    crypto.update(merge.crypto_ops)
+    return CostReport(
+        messages=sum(c.messages for c in shard_costs.values()) + merge.messages,
+        bytes=sum(c.bytes for c in shard_costs.values()) + merge.bytes,
+        crypto_ops=dict(crypto),
+        virtual_time=(
+            max((c.virtual_time for c in shard_costs.values()), default=0.0)
+            + merge.virtual_time
+        ),
+        dropped=sum(c.dropped for c in shard_costs.values()) + merge.dropped,
+    )

@@ -1,0 +1,142 @@
+"""The shard router: global glsn allocation + placement + stale-map guard.
+
+One :class:`ShardRouter` fronts the whole multi-ring cluster.  It owns the
+single global :class:`~repro.logstore.glsn.GlsnAllocator` (glsns stay
+unique and sequential across shards — identical to what a single-ring
+deployment would assign) and the :class:`~repro.shard.map.ShardMap` that
+places each glsn on a ring.
+
+Tenant pinning (``REPRO_SHARD_TENANT_PINNING``): a pinned tenant's
+appends bypass the striping rule.  The router leases a block of glsns
+from the global allocator, materializes it as an explicit map override
+onto the pinned shard, and allocates inside the lease — so pinned data is
+*physically* confined to one ring (which, under pinning, runs its own
+fresh SMC prime and authority keys) while glsn uniqueness still holds
+globally.
+
+The stale-map guard: callers may present the map version they last
+observed; if placement has changed since, the route is refused with the
+typed :class:`~repro.errors.StaleShardMapError` rather than silently
+landing records on the wrong ring.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ConfigurationError, StaleShardMapError
+from repro.logstore.glsn import GlsnAllocator, GlsnBlock
+from repro.shard.map import ShardMap, ShardRange
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Routes appends: allocates the glsn, names the owning shard."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        allocator: GlsnAllocator | None = None,
+        tenant_pinning: bool = False,
+        lease_size: int | None = None,
+    ) -> None:
+        self.map = shard_map
+        self.allocator = allocator or GlsnAllocator(start=shard_map.start)
+        self.tenant_pinning = tenant_pinning
+        self.lease_size = lease_size or shard_map.block_size
+        if self.lease_size < 1:
+            raise ConfigurationError("lease size must be positive")
+        self._pins: dict[str, int] = {}
+        self._leases: dict[str, GlsnBlock] = {}
+        self._lock = threading.Lock()
+
+    # -- versioning --------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self.map.version
+
+    def check_version(self, presented: int | None) -> None:
+        """Refuse a route taken under an out-of-date shard map."""
+        if presented is None:
+            return
+        current = self.map.version
+        if presented != current:
+            raise StaleShardMapError(
+                f"shard map moved: client routed with version {presented}, "
+                f"cluster is at {current} — re-fetch the map and retry",
+                expected=current,
+                presented=presented,
+            )
+
+    # -- tenant pinning ----------------------------------------------------
+
+    def pin_tenant(self, tenant: str, shard: int) -> int:
+        """Pin every future append of ``tenant`` onto ``shard``.
+
+        Requires ``REPRO_SHARD_TENANT_PINNING`` (or the equivalent
+        constructor knob); placement changes, so the map version bumps.
+        Returns the new version.
+        """
+        if not self.tenant_pinning:
+            raise ConfigurationError(
+                "tenant pinning is disabled — set REPRO_SHARD_TENANT_PINNING=on"
+            )
+        self.map.check_shard(shard)
+        with self._lock:
+            self._pins[tenant] = shard
+            self._leases.pop(tenant, None)  # next append leases on the new shard
+            return self.map._bump()
+
+    def pinned_shard(self, tenant: str | None) -> int | None:
+        if tenant is None:
+            return None
+        with self._lock:
+            return self._pins.get(tenant)
+
+    def _pinned_route(self, tenant: str, shard: int) -> tuple[int, int]:
+        """Allocate inside the tenant's lease, leasing a fresh block as
+        needed (lock held)."""
+        lease = self._leases.get(tenant)
+        if lease is None or lease.remaining == 0:
+            lo = self.allocator.next_value
+            self.allocator.allocate_many(self.lease_size)
+            self.map.pin_range(lo, lo + self.lease_size, shard)
+            lease = GlsnBlock(start=lo, end=lo + self.lease_size)
+            self._leases[tenant] = lease
+        return lease.take(), shard
+
+    # -- routing -----------------------------------------------------------
+
+    def route(
+        self,
+        tenant: str | None = None,
+        shard_map_version: int | None = None,
+    ) -> tuple[int, int]:
+        """Assign the next glsn and its owning shard: ``(glsn, shard)``."""
+        with self._lock:
+            self.check_version(shard_map_version)
+            if self.tenant_pinning and tenant is not None:
+                shard = self._pins.get(tenant)
+                if shard is not None:
+                    return self._pinned_route(tenant, shard)
+            glsn = self.allocator.allocate()
+            return glsn, self.map.shard_for(glsn)
+
+    # -- rebalancing (delegated map mutations) -----------------------------
+
+    def split_range(self, pivot: int) -> tuple[ShardRange, ShardRange]:
+        with self._lock:
+            return self.map.split_range(pivot)
+
+    def move_range(self, lo: int, hi: int, dst: int) -> int:
+        with self._lock:
+            return self.map.move_range(lo, hi, dst)
+
+    def describe(self) -> dict:
+        body = self.map.describe()
+        body["tenant_pinning"] = self.tenant_pinning
+        with self._lock:
+            body["pinned_tenants"] = dict(sorted(self._pins.items()))
+        return body

@@ -107,9 +107,25 @@ class TestAttribution:
         out = render_attribution(_sample_trace().finished_spans())
         lines = out.splitlines()
         assert lines[0].split() == [
-            "span", "time", "ms", "%", "parent", "msgs", "bytes", "modexp", "events",
+            "span", "shard", "time", "ms", "%", "parent",
+            "msgs", "bytes", "modexp", "events",
         ]
         assert "run" in out and "stage-a" in out
+
+    def test_shard_column_inherits_down_tree(self):
+        tracer = Tracer()
+        with tracer.span("shard.query", {"shard": "coord"}):
+            with tracer.span("sched.query", {"shard": "s1"}):
+                with tracer.span("smc.union"):  # no shard attr: inherits s1
+                    pass
+        rows = {r["name"]: r for r in attribution_rows(tracer.finished_spans())}
+        assert rows["shard.query"]["shard"] == "coord"
+        assert rows["sched.query"]["shard"] == "s1"
+        assert rows["smc.union"]["shard"] == "s1"
+
+    def test_unsharded_rows_show_dash(self):
+        rows = attribution_rows(_sample_trace().finished_spans())
+        assert {r["shard"] for r in rows} == {"—"}
 
     def test_empty_trace(self):
         assert render_attribution([]) == "(empty trace)"

@@ -1,0 +1,76 @@
+"""Property test: scatter-gather merge ≡ single-ring execution.
+
+For randomized shard counts, stripe widths, row counts, and rebalances,
+a sharded cluster loaded with the same rows as a single-ring deployment
+must answer every criterion with the identical glsn set — sharding is an
+execution strategy, never a semantics change.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from tests.shard.conftest import build_single, build_sharded
+
+CRITERIA = ["C4 = 1 and EID < 18", "C3 = 'bank' or C3 = 'salary'"]
+
+# Full service deployments per example: keep the example count tight.
+SLOW = settings(max_examples=5, deadline=None)
+
+configs = st.tuples(
+    st.integers(min_value=1, max_value=4),  # shards
+    st.sampled_from([1, 2, 3, 8]),          # block_size
+    st.integers(min_value=6, max_value=20), # rows
+)
+
+
+@SLOW
+@given(config=configs, criterion=st.sampled_from(CRITERIA))
+def test_merge_is_result_identical_to_single_ring(config, criterion):
+    shards, block_size, rows = config
+    single = build_single(rows=rows)
+    expected = sorted(single.query(criterion).glsns)
+    single.shutdown_scheduler()
+
+    cluster, _ = build_sharded(rows=rows, shards=shards, block_size=block_size)
+    try:
+        result = cluster.query(criterion)
+        assert sorted(result.glsns) == expected
+        assert result.leakage_reconciliation()["reconciles"]
+    finally:
+        cluster.shutdown()
+
+
+@SLOW
+@given(
+    config=st.tuples(
+        st.integers(min_value=2, max_value=3),
+        st.sampled_from([2, 4]),
+        st.integers(min_value=8, max_value=16),
+    ),
+    pivot_offset=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_identity_survives_random_splits_and_moves(config, pivot_offset, seed):
+    shards, block_size, rows = config
+    criterion = CRITERIA[seed % len(CRITERIA)]
+    single = build_single(rows=rows)
+    expected = sorted(single.query(criterion).glsns)
+    single.shutdown_scheduler()
+
+    cluster, _ = build_sharded(rows=rows, shards=shards, block_size=block_size)
+    try:
+        victim = cluster.shards[seed % shards].store.glsns
+        if victim:
+            block = cluster.map.range_for(victim[0])
+            pivot = block.lo + (pivot_offset % (block.hi - block.lo - 1) + 1
+                                if block.hi - block.lo > 1 else 0)
+            if block.lo < pivot < block.hi:
+                low, _high = cluster.split_range(pivot)
+                cluster.move_shard(low.lo, low.hi, (seed + 1) % shards)
+            else:
+                cluster.move_shard(block.lo, block.hi, (seed + 1) % shards)
+        result = cluster.query(criterion)
+        assert sorted(result.glsns) == expected
+    finally:
+        cluster.shutdown()

@@ -1,0 +1,73 @@
+"""Fixtures for the horizontal-sharding suite.
+
+The single-ring deployment and the sharded cluster are loaded with the
+exact same rows, so the single ring is always the ground truth the
+scatter-gather answer must match glsn-for-glsn.
+"""
+
+from __future__ import annotations
+
+from repro.core import ConfidentialAuditingService
+from repro.crypto import DeterministicRng
+from repro.logstore import paper_fragment_plan, paper_table1_schema
+from repro.shard import ShardedAuditingService
+
+ROWS = 24
+
+CRITERIA = [
+    "C4 = 1 and EID < 18",
+    "C1 > 30 and C3 = 'bank'",
+    "C3 = 'bank' or C3 = 'salary'",
+]
+
+
+def make_row(i: int) -> dict:
+    return {
+        "Time": f"2004-01-{i % 28 + 1:02d}",
+        "id": f"u{i % 5}",
+        "EID": i,
+        "Tid": f"t{i}",
+        "protocl": "tcp",
+        "ip": f"10.0.0.{i % 7}",
+        "C": i % 3,
+        "C1": (i * 13) % 100,
+        "C2": (i * 29) % 1000,
+        "C3": ["bank", "salary", "shop"][i % 3],
+        "C4": i % 2,
+        "C5": i,
+    }
+
+
+def build_single(rows: int = ROWS, **kwargs) -> ConfidentialAuditingService:
+    schema = paper_table1_schema()
+    service = ConfidentialAuditingService(
+        schema,
+        paper_fragment_plan(schema),
+        prime_bits=64,
+        rng=DeterministicRng(b"shard-tests"),
+        **kwargs,
+    )
+    ticket = service.register_user("shard-tests")
+    for i in range(rows):
+        service.log_event(make_row(i), ticket)
+    return service
+
+
+def build_sharded(
+    rows: int = ROWS, shards: int = 2, block_size: int = 1, **kwargs
+) -> tuple[ShardedAuditingService, object]:
+    """A loaded cluster plus the writer's :class:`ShardedTicket`."""
+    schema = paper_table1_schema()
+    service = ShardedAuditingService(
+        schema,
+        paper_fragment_plan(schema),
+        shards=shards,
+        prime_bits=64,
+        rng=DeterministicRng(b"shard-tests"),
+        block_size=block_size,
+        **kwargs,
+    )
+    ticket = service.register_user("shard-tests")
+    for i in range(rows):
+        service.log_event(make_row(i), ticket)
+    return service, ticket

@@ -1,0 +1,105 @@
+"""Cluster chaos: one ring fails over without poisoning its siblings.
+
+One shard's ring gets a crashed node (the existing ``supervise_ring``
+failover machinery handles it); the sibling shard must keep returning
+partial results identical to a fault-free twin's, and the coordinator
+must still settle — a degraded/failed leg never hangs the gather.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import DeterministicRng
+from repro.errors import ReproError
+from repro.net.faults import FaultPlan
+from repro.resilience import RetryPolicy
+from tests.shard.conftest import build_sharded
+
+# Touches P0 (C4) and P1 (EID): needs the crashed node on the sick ring.
+VICTIM_QUERY = "C4 = 1 and EID < 10"
+VICTIM_NODE = "P0"
+SICK_SHARD = 0
+
+
+def _settle(handle, timeout: float = 120.0):
+    try:
+        return handle.result(timeout=timeout), None
+    except ReproError as exc:
+        return None, exc
+
+
+@pytest.fixture()
+def chaos_cluster():
+    faults = FaultPlan(rng=DeterministicRng(b"shard-chaos"))
+    faults.crash(VICTIM_NODE)
+    # Fault plan keyed by shard: ONLY ring 0 has the dead node.
+    service, ticket = build_sharded(
+        shards=2,
+        resilience=RetryPolicy(),
+        faults={SICK_SHARD: faults},
+    )
+    yield service, ticket
+    service.shutdown()
+
+
+def test_sick_ring_never_poisons_its_sibling(chaos_cluster):
+    service, _ = chaos_cluster
+    healthy_twin, _ = build_sharded(shards=2)
+
+    want = {
+        sid: sorted(h.result(timeout=120).glsns)
+        for sid, h in healthy_twin.scatter(VICTIM_QUERY).items()
+    }
+
+    handles = service.scatter(VICTIM_QUERY)
+    sick_result, sick_error = _settle(handles[SICK_SHARD])
+    sibling = handles[1 - SICK_SHARD]
+    got, err = _settle(sibling)
+
+    # The sick ring settles either way: failover (degraded answer) or a
+    # typed error — never a hang.
+    assert handles[SICK_SHARD].done
+    assert sick_result is not None or sick_error is not None
+
+    # The sibling ring is exactly as correct as the fault-free twin.
+    assert err is None
+    assert sorted(got.glsns) == want[1 - SICK_SHARD]
+
+    healthy_twin.shutdown()
+
+
+def test_merged_answer_over_surviving_rings(chaos_cluster):
+    service, _ = chaos_cluster
+    healthy_twin, _ = build_sharded(shards=2)
+
+    handles = service.scatter(VICTIM_QUERY)
+    survivors = {}
+    for sid, handle in handles.items():
+        result, _error = _settle(handle)
+        if result is not None:
+            survivors[sid] = result.glsns
+
+    from repro.shard import merge_shard_glsns
+
+    merged, _cost = merge_shard_glsns(service.ctx, survivors)
+
+    twin_partials = {
+        sid: h.result(timeout=120).glsns
+        for sid, h in healthy_twin.scatter(VICTIM_QUERY).items()
+    }
+    # Whatever the sick ring produced, every surviving ring's contribution
+    # is its exact fault-free partial (failover answers on the sick ring
+    # itself may legitimately be degraded).
+    for sid, glsns in survivors.items():
+        if sid != SICK_SHARD:
+            assert sorted(glsns) == sorted(twin_partials[sid])
+            assert set(twin_partials[sid]) <= set(merged)
+
+    healthy_twin.shutdown()
+
+
+def test_fault_plan_dict_only_arms_the_named_ring(chaos_cluster):
+    service, _ = chaos_cluster
+    assert service.shards[SICK_SHARD].faults is not None
+    assert service.shards[1 - SICK_SHARD].faults is None

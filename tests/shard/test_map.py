@@ -1,0 +1,118 @@
+"""ShardMap: striping rule, overrides, versioning, typed errors."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ShardMapError, UnknownShardError
+from repro.logstore.glsn import PAPER_GLSN_START
+from repro.shard import ShardMap, ShardRange
+
+
+class TestStriping:
+    def test_blocks_round_robin_over_shards(self):
+        m = ShardMap(3, start=0, block_size=4)
+        assert [m.shard_for(g) for g in range(12)] == [0] * 4 + [1] * 4 + [2] * 4
+        assert m.shard_for(12) == 0  # wraps back to shard 0
+
+    def test_block_size_one_is_per_record_round_robin(self):
+        m = ShardMap(2, start=100, block_size=1)
+        assert [m.shard_for(100 + i) for i in range(6)] == [0, 1, 0, 1, 0, 1]
+
+    def test_default_origin_is_paper_glsn_start(self):
+        m = ShardMap(2)
+        assert m.start == PAPER_GLSN_START
+        assert m.shard_for(PAPER_GLSN_START) == 0
+
+    def test_glsn_before_origin_rejected(self):
+        m = ShardMap(2, start=10)
+        with pytest.raises(ShardMapError):
+            m.shard_for(9)
+
+    def test_range_for_names_the_block(self):
+        m = ShardMap(2, start=0, block_size=4)
+        r = m.range_for(5)
+        assert (r.lo, r.hi, r.shard) == (4, 8, 1)
+
+
+class TestValidation:
+    def test_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            ShardMap(0)
+        with pytest.raises(ConfigurationError):
+            ShardMap(2, block_size=0)
+        with pytest.raises(ConfigurationError):
+            ShardMap(2, start=-1)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ShardMapError):
+            ShardRange(lo=5, hi=5, shard=0)
+
+    def test_unknown_shard(self):
+        m = ShardMap(2, start=0, block_size=4)
+        with pytest.raises(UnknownShardError):
+            m.check_shard(2)
+        with pytest.raises(UnknownShardError):
+            m.move_range(0, 4, 7)
+
+
+class TestVersioning:
+    def test_starts_at_one_and_every_mutation_bumps(self):
+        m = ShardMap(2, start=0, block_size=4)
+        assert m.version == 1
+        m.pin_range(100, 104, 1)
+        assert m.version == 2
+        m.split_range(102)
+        assert m.version == 3
+        m.move_range(100, 102, 0)
+        assert m.version == 4
+
+    def test_move_to_same_shard_still_bumps(self):
+        m = ShardMap(2, start=0, block_size=4)
+        src = m.move_range(0, 4, 0)
+        assert src == 0 and m.version == 2
+
+
+class TestSplitAndMove:
+    def test_split_materializes_block_as_two_overrides(self):
+        m = ShardMap(2, start=0, block_size=4)
+        low, high = m.split_range(6)
+        assert (low.lo, low.hi) == (4, 6) and (high.lo, high.hi) == (6, 8)
+        assert low.shard == high.shard == 1  # placement unchanged by a split
+        assert m.overrides == [low, high]
+
+    def test_split_pivot_must_be_strictly_interior(self):
+        m = ShardMap(2, start=0, block_size=4)
+        with pytest.raises(ShardMapError):
+            m.split_range(4)  # boundary
+        m.split_range(6)
+        with pytest.raises(ShardMapError):
+            m.split_range(6)  # now a boundary of the new overrides
+
+    def test_move_requires_exact_boundaries(self):
+        m = ShardMap(2, start=0, block_size=4)
+        with pytest.raises(ShardMapError):
+            m.move_range(1, 3, 1)  # interior of a block
+        assert m.move_range(0, 4, 1) == 0
+        assert m.shard_for(2) == 1
+
+    def test_split_then_move_half(self):
+        m = ShardMap(2, start=0, block_size=4)
+        m.split_range(2)
+        src = m.move_range(0, 2, 1)
+        assert src == 0
+        assert [m.shard_for(g) for g in range(4)] == [1, 1, 0, 0]
+
+    def test_overlapping_override_rejected(self):
+        m = ShardMap(2, start=0, block_size=4)
+        m.pin_range(10, 20, 0)
+        for lo, hi in [(5, 11), (19, 25), (12, 14)]:
+            with pytest.raises(ShardMapError):
+                m.pin_range(lo, hi, 1)
+
+    def test_describe_is_json_safe(self):
+        import json
+
+        m = ShardMap(2, start=0, block_size=4)
+        m.pin_range(100, 104, 1)
+        body = json.loads(json.dumps(m.describe()))
+        assert body["shards"] == 2 and body["version"] == 2
+        assert body["overrides"] == [{"lo": 100, "hi": 104, "shard": 1}]

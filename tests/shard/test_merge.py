@@ -1,0 +1,94 @@
+"""Coordinator merge: disjointness-proof fast path vs secure union."""
+
+from repro.crypto.pohlig_hellman import shared_prime
+from repro.crypto.rng import DeterministicRng
+from repro.shard import ShardMap, merge_shard_glsns, rollup_cost
+from repro.net.stats import CostReport
+from repro.smc.base import SmcContext
+
+PRIME = shared_prime(64)
+
+
+def ctx() -> SmcContext:
+    return SmcContext(PRIME, DeterministicRng(b"merge-tests"))
+
+
+def make_map() -> ShardMap:
+    return ShardMap(2, start=0, block_size=1)  # even glsns → s0, odd → s1
+
+
+class TestMergePaths:
+    def test_disjointness_proof_skips_the_protocol(self):
+        c = ctx()
+        merged, cost = merge_shard_glsns(
+            c, {0: [0, 2, 4], 1: [1, 3]}, shard_map=make_map()
+        )
+        assert merged == [0, 1, 2, 3, 4]
+        assert cost.modexp == 0 and cost.messages == 0
+
+    def test_no_map_runs_the_secure_union(self):
+        c = ctx()
+        merged, cost = merge_shard_glsns(c, {0: [0, 2, 4], 1: [1, 3]})
+        assert merged == [0, 1, 2, 3, 4]
+        assert cost.modexp > 0 and cost.messages > 0
+
+    def test_force_union_overrides_the_proof(self):
+        c = ctx()
+        merged, cost = merge_shard_glsns(
+            c, {0: [0, 2], 1: [1, 3]}, shard_map=make_map(), force_union=True
+        )
+        assert merged == [0, 1, 2, 3]
+        assert cost.modexp > 0
+
+    def test_unowned_element_breaks_the_proof(self):
+        # glsn 1 is owned by shard 1 but reported by shard 0 (a partial
+        # computed mid-migration): no proof, so the union protocol runs.
+        c = ctx()
+        merged, cost = merge_shard_glsns(
+            c, {0: [0, 1], 1: [3, 5]}, shard_map=make_map()
+        )
+        assert merged == [0, 1, 3, 5]
+        assert cost.modexp > 0
+
+    def test_both_paths_agree(self):
+        partials = {0: [0, 2, 6, 8], 1: [1, 3, 9]}
+        fast, _ = merge_shard_glsns(ctx(), partials, shard_map=make_map())
+        slow, _ = merge_shard_glsns(ctx(), partials, force_union=True)
+        assert fast == slow
+
+    def test_single_contributor_is_identity(self):
+        c = ctx()
+        merged, cost = merge_shard_glsns(c, {0: [4, 2], 1: []})
+        assert merged == [2, 4]
+        assert cost.modexp == 0 and cost.messages == 0
+
+    def test_all_empty(self):
+        merged, _ = merge_shard_glsns(ctx(), {0: [], 1: []})
+        assert merged == []
+
+    def test_shard_partial_recorded_on_both_paths(self):
+        for kwargs in ({"shard_map": make_map()}, {"force_union": True}):
+            c = ctx()
+            merge_shard_glsns(c, {0: [0, 2], 1: [1]}, **kwargs)
+            assert c.leakage.count("shard_partial") == 2
+
+
+class TestRollup:
+    def test_sums_and_virtual_makespan(self):
+        legs = {
+            0: CostReport(messages=4, bytes=100, crypto_ops={"total.modexp": 10},
+                          virtual_time=0.5, dropped=1),
+            1: CostReport(messages=6, bytes=300, crypto_ops={"total.modexp": 4},
+                          virtual_time=0.2),
+        }
+        merge = CostReport(messages=2, bytes=50, crypto_ops={"total.modexp": 3},
+                           virtual_time=0.1)
+        total = rollup_cost(legs, merge)
+        assert (total.messages, total.bytes, total.dropped) == (12, 450, 1)
+        assert total.modexp == 17
+        # max over concurrent legs + merge, not the sum.
+        assert total.virtual_time == 0.6
+
+    def test_empty_legs(self):
+        merge = CostReport(messages=0, bytes=0, crypto_ops={})
+        assert rollup_cost({}, merge).virtual_time == 0.0

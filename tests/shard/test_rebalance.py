@@ -1,0 +1,98 @@
+"""Rebalancing: split/move with live fragment migration + stale guard."""
+
+import pytest
+
+from repro.errors import ShardMapError, StaleShardMapError
+from tests.shard.conftest import CRITERIA, build_single, build_sharded, make_row
+
+
+@pytest.fixture()
+def cluster():
+    # block_size=4: whole striping blocks are movable without a split.
+    service, ticket = build_sharded(shards=2, block_size=4)
+    yield service, ticket
+    service.shutdown()
+
+
+def _block_of(service, glsn):
+    return service.map.range_for(glsn)
+
+
+class TestMoveShard:
+    def test_fragments_physically_migrate(self, cluster):
+        service, _ = cluster
+        src_ring = service.shards[0]
+        glsn = src_ring.store.glsns[0]
+        block = _block_of(service, glsn)
+        moved = service.move_shard(block.lo, block.hi, 1)
+        assert moved.src == 0 and moved.dst == 1
+        assert glsn in moved.glsns
+        assert glsn not in service.shards[0].store.glsns
+        assert glsn in service.shards[1].store.glsns
+        assert service.map.shard_for(glsn) == 1
+
+    def test_queries_identical_after_migration(self, cluster):
+        service, _ = cluster
+        single = build_single()
+        expected = [sorted(single.query(c).glsns) for c in CRITERIA]
+        block = _block_of(service, service.shards[0].store.glsns[0])
+        service.move_shard(block.lo, block.hi, 1)
+        for criterion, want in zip(CRITERIA, expected):
+            assert sorted(service.query(criterion).glsns) == want
+        single.shutdown_scheduler()
+
+    def test_integrity_passes_on_both_rings_after_migration(self, cluster):
+        service, _ = cluster
+        block = _block_of(service, service.shards[0].store.glsns[0])
+        service.move_shard(block.lo, block.hi, 1)
+        reports = service.check_integrity()
+        assert all(r.verified for reps in reports.values() for r in reps)
+
+    def test_move_to_same_shard_is_a_metadata_noop(self, cluster):
+        service, _ = cluster
+        glsn = service.shards[1].store.glsns[0]
+        block = _block_of(service, glsn)
+        before = len(service.shards[1].store.glsns)
+        moved = service.move_shard(block.lo, block.hi, 1)
+        assert moved.glsns == () and moved.src == moved.dst == 1
+        assert len(service.shards[1].store.glsns) == before
+        assert moved.shard_map_version == service.map.version  # still bumped
+
+    def test_non_boundary_move_rejected(self, cluster):
+        service, _ = cluster
+        glsn = service.shards[0].store.glsns[0]
+        block = _block_of(service, glsn)
+        with pytest.raises(ShardMapError):
+            service.move_shard(block.lo + 1, block.hi, 1)
+
+
+class TestSplitRange:
+    def test_split_then_move_half(self, cluster):
+        service, _ = cluster
+        src_glsns = service.shards[0].store.glsns
+        block = _block_of(service, src_glsns[0])
+        pivot = block.lo + 2
+        low, high = service.split_range(pivot)
+        assert (low.hi, high.lo) == (pivot, pivot)
+        moved = service.move_shard(low.lo, low.hi, 1)
+        stayed = [g for g in src_glsns if g >= pivot and g < block.hi]
+        assert all(g in service.shards[0].store.glsns for g in stayed)
+        assert all(g in service.shards[1].store.glsns for g in moved.glsns)
+
+
+class TestStaleMapGuard:
+    def test_stale_routed_append_rejected_with_typed_error(self, cluster):
+        service, ticket = cluster
+        fresh = service.map.version
+        service.log_event(make_row(50), ticket, shard_map_version=fresh)
+        block = _block_of(service, service.shards[0].store.glsns[0])
+        service.move_shard(block.lo, block.hi, 1)
+        with pytest.raises(StaleShardMapError) as exc:
+            service.log_event(make_row(51), ticket, shard_map_version=fresh)
+        assert exc.value.presented == fresh
+        assert exc.value.expected == service.map.version
+        # Re-fetching the version makes the append land.
+        receipt = service.log_event(
+            make_row(51), ticket, shard_map_version=service.map.version
+        )
+        assert receipt.shard == service.map.shard_for(receipt.glsn)

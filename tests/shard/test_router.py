@@ -1,0 +1,118 @@
+"""ShardRouter: global allocation, stale-map guard, tenant pinning."""
+
+import pytest
+
+from repro.errors import ConfigurationError, LogStoreError, StaleShardMapError
+from repro.logstore.glsn import RoutedGlsnAllocator
+from repro.shard import ShardMap, ShardRouter
+
+
+def make_router(shards=2, block_size=4, **kwargs) -> ShardRouter:
+    return ShardRouter(ShardMap(shards, start=0, block_size=block_size), **kwargs)
+
+
+class TestRouting:
+    def test_glsns_are_globally_sequential(self):
+        router = make_router(shards=3)
+        glsns = [router.route()[0] for _ in range(10)]
+        assert glsns == list(range(10))
+
+    def test_shard_agrees_with_map(self):
+        router = make_router(shards=2, block_size=2)
+        routes = [router.route() for _ in range(8)]
+        assert all(s == router.map.shard_for(g) for g, s in routes)
+        assert [s for _, s in routes] == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_shard_count_does_not_change_glsns(self):
+        seqs = []
+        for shards in (1, 2, 4):
+            router = make_router(shards=shards)
+            seqs.append([router.route()[0] for _ in range(12)])
+        assert seqs[0] == seqs[1] == seqs[2]
+
+
+class TestStaleMapGuard:
+    def test_current_version_accepted(self):
+        router = make_router()
+        router.route(shard_map_version=router.version)
+
+    def test_none_skips_the_check(self):
+        router = make_router()
+        router.map.pin_range(100, 104, 1)
+        router.route(shard_map_version=None)
+
+    def test_stale_version_raises_typed_error(self):
+        router = make_router()
+        stale = router.version
+        router.split_range(2)
+        with pytest.raises(StaleShardMapError) as exc:
+            router.route(shard_map_version=stale)
+        assert exc.value.presented == stale
+        assert exc.value.expected == router.version
+
+    def test_future_version_also_rejected(self):
+        router = make_router()
+        with pytest.raises(StaleShardMapError):
+            router.route(shard_map_version=router.version + 1)
+
+
+class TestTenantPinning:
+    def test_disabled_by_default(self):
+        router = make_router()
+        with pytest.raises(ConfigurationError):
+            router.pin_tenant("acme", 1)
+
+    def test_pinned_tenant_routes_to_its_shard(self):
+        router = make_router(tenant_pinning=True, lease_size=3)
+        router.pin_tenant("acme", 1)
+        routes = [router.route(tenant="acme") for _ in range(7)]
+        assert all(s == 1 for _, s in routes)
+        # Three leases of three glsns each cover seven appends.
+        assert len(router.map.overrides) == 3
+        glsns = [g for g, _ in routes]
+        assert glsns == sorted(glsns) and len(set(glsns)) == 7
+
+    def test_unpinned_tenants_stripe_normally(self):
+        router = make_router(tenant_pinning=True)
+        g, s = router.route(tenant="other")
+        assert s == router.map.shard_for(g)
+
+    def test_pinning_bumps_map_version(self):
+        router = make_router(tenant_pinning=True)
+        before = router.version
+        assert router.pin_tenant("acme", 0) == before + 1
+
+    def test_repin_moves_future_appends(self):
+        router = make_router(tenant_pinning=True, lease_size=2)
+        router.pin_tenant("acme", 0)
+        first = router.route(tenant="acme")
+        router.pin_tenant("acme", 1)
+        second = router.route(tenant="acme")
+        assert first[1] == 0 and second[1] == 1
+
+    def test_pinned_shard_lookup(self):
+        router = make_router(tenant_pinning=True)
+        assert router.pinned_shard("acme") is None
+        router.pin_tenant("acme", 1)
+        assert router.pinned_shard("acme") == 1
+        assert router.pinned_shard(None) is None
+
+
+class TestRoutedAllocator:
+    def test_unpinned_allocation_is_a_wiring_bug(self):
+        alloc = RoutedGlsnAllocator()
+        with pytest.raises(LogStoreError):
+            alloc.allocate()
+        with pytest.raises(LogStoreError):
+            alloc.next_value
+
+    def test_pins_drain_fifo(self):
+        alloc = RoutedGlsnAllocator()
+        alloc.pin(7)
+        alloc.pin(3)
+        assert alloc.next_value == 7
+        assert [alloc.allocate(), alloc.allocate()] == [7, 3]
+
+    def test_negative_pin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoutedGlsnAllocator().pin(-1)

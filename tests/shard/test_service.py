@@ -1,0 +1,215 @@
+"""ShardedAuditingService: routed writes, scatter-gather, roll-ups."""
+
+import pytest
+
+from repro.errors import LogStoreError, UnknownShardError
+from repro.obs import MetricsRegistry
+from repro.obs.tracer import Tracer
+from tests.shard.conftest import CRITERIA, build_single, build_sharded
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    service, ticket = build_sharded(shards=2)
+    yield service, ticket
+    service.shutdown()
+
+
+@pytest.fixture(scope="module")
+def single():
+    service = build_single()
+    yield service
+    service.shutdown_scheduler()
+
+
+class TestWritePath:
+    def test_receipts_carry_placement(self, cluster):
+        service, ticket = cluster
+        from tests.shard.conftest import make_row
+
+        # Row 26 matches none of CRITERIA (C4=0, C3='shop', EID>=18), so
+        # this extra append never skews the module-scoped identity tests.
+        receipt = service.log_event(make_row(26), ticket)
+        assert receipt.shard == service.map.shard_for(receipt.glsn)
+        assert receipt.shard_map_version == service.map.version
+        assert receipt.accumulator > 0 and receipt.nodes
+
+    def test_rows_spread_over_both_rings(self, cluster):
+        service, _ = cluster
+        sizes = [len(ring.store.glsns) for ring in service.shards]
+        assert all(size > 0 for size in sizes)
+
+    def test_each_ring_holds_only_its_own_glsns(self, cluster):
+        service, _ = cluster
+        for sid, ring in enumerate(service.shards):
+            assert all(
+                service.map.shard_for(g) == sid for g in ring.store.glsns
+            )
+
+    def test_direct_ring_append_bypassing_router_is_refused(self, cluster):
+        service, ticket = cluster
+        with pytest.raises(LogStoreError):
+            service.shards[0].store.append(
+                {"EID": 1}, ticket.for_shard(0)
+            )
+
+    def test_ticket_per_ring(self, cluster):
+        service, ticket = cluster
+        assert sorted(ticket.tickets) == [0, 1]
+        with pytest.raises(UnknownShardError):
+            ticket.for_shard(9)
+
+
+class TestScatterGather:
+    def test_answers_identical_to_single_ring(self, cluster, single):
+        service, _ = cluster
+        for criterion in CRITERIA:
+            expected = sorted(single.query(criterion).glsns)
+            got = service.query(criterion)
+            assert sorted(got.glsns) == expected
+            assert got.count == len(expected)
+
+    def test_partials_union_to_the_answer(self, cluster):
+        service, _ = cluster
+        result = service.query(CRITERIA[0])
+        scattered = sorted(
+            g for r in result.per_shard.values() for g in r.glsns
+        )
+        assert scattered == sorted(result.glsns)  # disjoint partials
+
+    def test_query_many_matches_serial_queries(self, cluster):
+        service, _ = cluster
+        serial = [sorted(service.query(c).glsns) for c in CRITERIA]
+        batch = service.query_many(CRITERIA)
+        assert [sorted(r.glsns) for r in batch] == serial
+
+
+class TestRollups:
+    def test_cost_sums_and_virtual_makespan(self, cluster):
+        service, _ = cluster
+        result = service.query(CRITERIA[0])
+        legs = result.shard_costs.values()
+        assert result.cost.messages == (
+            sum(c.messages for c in legs) + result.merge_cost.messages
+        )
+        assert result.cost.bytes == (
+            sum(c.bytes for c in legs) + result.merge_cost.bytes
+        )
+        # Rings run concurrently on independent networks: makespan is the
+        # max over legs plus the merge round, not the sum.
+        assert result.cost.virtual_time == pytest.approx(
+            max(c.virtual_time for c in legs) + result.merge_cost.virtual_time
+        )
+
+    def test_leakage_ledger_reconciles_exactly(self, cluster):
+        service, _ = cluster
+        result = service.query(CRITERIA[0])
+        recon = result.leakage_reconciliation()
+        assert recon["reconciles"]
+        assert recon["total"] == len(result.leakage)
+        assert recon["total"] == (
+            sum(recon["per_shard"].values()) + recon["coordinator"]
+        )
+
+    def test_contributing_shards_cost_a_shard_partial_event(self, cluster):
+        service, _ = cluster
+        result = service.query(CRITERIA[0])
+        partial_events = [
+            e for e in result.coordinator_leakage if e.category == "shard_partial"
+        ]
+        contributing = [
+            sid for sid, r in result.per_shard.items() if r.glsns
+        ]
+        assert len(partial_events) == len(contributing)
+
+    def test_confidentiality_composition(self, cluster):
+        service, _ = cluster
+        result = service.query(CRITERIA[0])
+        assert result.c_query is not None and 0 < result.c_query <= 1
+        assert service.c_dla() is not None
+        composed = service.composed_c_dla()
+        per_shard = service.c_dla_by_shard()
+        assert composed is not None
+        lo = min(v for v in per_shard.values() if v is not None)
+        hi = max(v for v in per_shard.values() if v is not None)
+        assert lo <= composed <= hi  # a weighted mean of the per-ring means
+
+
+class TestObservability:
+    def test_metrics_series_split_by_shard_label(self):
+        registry = MetricsRegistry()
+        service, _ = build_sharded(rows=8, shards=2, metrics=registry)
+        try:
+            service.query(CRITERIA[0])
+            text = registry.render_prometheus()
+            assert 'shard="s0"' in text and 'shard="s1"' in text
+        finally:
+            service.shutdown()
+
+    def test_coordinator_span_carries_shard_and_rollup(self):
+        tracer = Tracer()
+        service, _ = build_sharded(rows=8, shards=2, tracer=tracer)
+        try:
+            result = service.query(CRITERIA[0])
+            root = next(
+                s for s in tracer.finished_spans() if s.name == "shard.query"
+            )
+            assert root.attributes["shard"] == "coord"
+            assert root.attributes["matches"] == result.count
+            assert root.attributes["messages"] == result.cost.messages
+            ring_spans = [
+                s for s in tracer.finished_spans() if s.name == "sched.query"
+            ]
+            assert {s.attributes["shard"] for s in ring_spans} <= {"s0", "s1"}
+        finally:
+            service.shutdown()
+
+    def test_health_snapshot_rolls_up_rings(self, cluster):
+        service, _ = cluster
+        body = service.health_snapshot()
+        assert body["status"] == "ok"
+        assert set(body["shards"]) == {"s0", "s1"}
+        assert body["shard_map"]["shards"] == 2
+
+    def test_integrity_per_ring(self, cluster):
+        service, _ = cluster
+        reports = service.check_integrity()
+        assert set(reports) == {0, 1}
+        assert all(r.verified for reps in reports.values() for r in reps)
+
+    def test_describe(self, cluster):
+        service, _ = cluster
+        body = service.describe()
+        assert body["shards"] == 2 and body["tenant_pinning"] is False
+
+
+class TestTenantPinning:
+    def test_pinned_tenant_is_physically_confined(self):
+        service, ticket = build_sharded(
+            rows=0, shards=2, block_size=4, tenant_pinning=True
+        )
+        try:
+            service.pin_tenant("acme", 1)
+            from tests.shard.conftest import make_row
+
+            receipts = [
+                service.log_event(make_row(i), ticket, tenant="acme")
+                for i in range(6)
+            ]
+            assert {r.shard for r in receipts} == {1}
+            assert service.target_shards("acme") == [1]
+            result = service.query("C4 = 1", tenant="acme")
+            expected = [r.glsn for i, r in enumerate(receipts) if i % 2 == 1]
+            assert sorted(result.glsns) == sorted(expected)
+        finally:
+            service.shutdown()
+
+    def test_pinned_rings_use_fresh_distinct_primes(self):
+        service, _ = build_sharded(
+            rows=0, shards=2, tenant_pinning=True
+        )
+        try:
+            primes = {ring.ctx.prime for ring in service.shards}
+            assert len(primes) == 2
+        finally:
+            service.shutdown()

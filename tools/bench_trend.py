@@ -88,6 +88,13 @@ HEADLINES = [
         "x",
         lambda d: d["online_phase"]["speedup"],
     ),
+    (
+        "BENCH_p7.json",
+        "P7 horizontal sharding",
+        "4-shard aggregate speedup",
+        "x",
+        lambda d: d["speedup_at_4"],
+    ),
 ]
 
 
