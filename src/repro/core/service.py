@@ -19,6 +19,7 @@ import json
 import threading
 from collections import Counter, deque
 from dataclasses import dataclass
+from itertools import islice
 
 from repro.audit.executor import AggregateResult, QueryExecutor, QueryResult
 from repro.audit.planner import QueryPlan, plan_query
@@ -52,6 +53,7 @@ from repro.obs.server import ObsServer, start_from_env
 from repro.obs.tracer import NOOP_TRACER, Span
 from repro.precompute import PrecomputeManager
 from repro.smc.base import SmcContext
+from repro.store import StoreConfig, open_durable_store
 
 __all__ = ["AuditReport", "ConfidentialAuditingService"]
 
@@ -125,6 +127,19 @@ class ConfidentialAuditingService:
         When ``False``, skip the ``REPRO_OBS_HTTP_PORT`` auto-start (a
         sharded deployment serves one merged endpoint at the coordinator
         instead of N clashing per-shard binds).
+    store_dir:
+        Directory for the durable storage backend (``repro.store``).
+        When given — or when ``REPRO_STORE_DIR`` is set — the service's
+        log store is a crash-recoverable
+        :class:`~repro.store.DurableDistributedLogStore`: every append
+        lands in a per-node write-ahead log, epoch checkpoints compact
+        in the background, and reopening the same directory recovers
+        the pre-crash state (see :attr:`last_recovery` and
+        ``docs/storage.md``).  ``None`` with the env var unset keeps the
+        in-memory store.
+    store_config:
+        Optional :class:`~repro.store.StoreConfig` overriding the
+        ``REPRO_STORE_*`` environment knobs for the durable backend.
     """
 
     def __init__(
@@ -143,6 +158,8 @@ class ConfidentialAuditingService:
         realm: str = "real",
         shard_label: str | None = None,
         obs_from_env: bool = True,
+        store_dir: str | None = None,
+        store_config: StoreConfig | None = None,
     ) -> None:
         self.rng = rng or system_rng()
         self.resilience = resilience
@@ -195,14 +212,38 @@ class ConfidentialAuditingService:
             self.rng.spawn("tickets").randbytes(32)
         )
 
-        # Storage.
-        self.store = DistributedLogStore(
-            plan,
-            self.ticket_authority,
-            AccumulatorParams.generate(256, self.rng.spawn("accumulator")),
-            allocator=allocator,
-            tracer=self.tracer,
+        # Storage: in-memory by default, durable (WAL + checkpoints +
+        # crash recovery) when a store directory is configured.
+        acc_params = AccumulatorParams.generate(
+            256, self.rng.spawn("accumulator")
         )
+        store_cfg = store_config or StoreConfig.from_env()
+        durable_dir = store_dir if store_dir is not None else store_cfg.directory
+        #: :class:`~repro.store.RecoveryReport` of the durable open —
+        #: ``None`` for in-memory services and for fresh directories.
+        self.last_recovery = None
+        if durable_dir is not None:
+            self.store, self.last_recovery = open_durable_store(
+                plan,
+                self.ticket_authority,
+                acc_params,
+                durable_dir,
+                config=store_cfg,
+                allocator=allocator,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+        else:
+            self.store = DistributedLogStore(
+                plan,
+                self.ticket_authority,
+                acc_params,
+                allocator=allocator,
+                tracer=self.tracer,
+            )
+        #: Standing-query registry, built lazily on first registration.
+        self._standing = None
+        self._standing_lock = threading.Lock()
 
         # Relaxed-SMC context and executor.
         self.ctx = SmcContext(
@@ -307,6 +348,103 @@ class ConfidentialAuditingService:
     def read_own_record(self, glsn: int, ticket: Ticket) -> LogRecord:
         """An owner reading back its own record (ticket-checked)."""
         return self.store.read_record(glsn, ticket)
+
+    # -- streaming ingest + standing queries (repro.store / repro.sched) -----------
+
+    def append_stream(
+        self,
+        rows,
+        ticket: Ticket,
+        batch_size: int = 64,
+        evaluate_standing: bool = True,
+    ) -> list[WriteReceipt]:
+        """Ingest an iterable of event rows in durability batches.
+
+        Rows are consumed lazily (any iterable works) and appended in
+        batches of ``batch_size``; each batch is one *ingest epoch*: the
+        per-record accumulators and the running chain anchor fold
+        incrementally exactly as single appends would, and on a durable
+        store the batch shares one WAL sync — the whole epoch is either
+        durable or rolled back as a torn tail on recovery.  After every
+        epoch the registered standing queries are evaluated and their
+        deltas pushed (``evaluate_standing=False`` defers that to an
+        explicit :meth:`poll_standing`).
+        """
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        receipts: list[WriteReceipt] = []
+        ingest_metric = (
+            self.metrics.counter(
+                "repro_ingest_records_total",
+                help="records ingested through append_stream",
+            )
+            if self.metrics is not None
+            else None
+        )
+        rows = iter(rows)
+        batched = getattr(self.store, "append_batch", None)
+        while True:
+            batch = list(islice(rows, batch_size))
+            if not batch:
+                break
+            with self.tracer.span(
+                "ingest.batch", {"rows": len(batch), "epoch_start": len(receipts)}
+            ):
+                if batched is not None:
+                    receipts.extend(batched(batch, ticket))
+                else:
+                    receipts.extend(self.store.append(values, ticket) for values in batch)
+            if ingest_metric is not None:
+                ingest_metric.inc(len(batch))
+            if evaluate_standing and self._standing is not None and len(self._standing):
+                self._standing.evaluate_epoch()
+        return receipts
+
+    @property
+    def standing(self):
+        """The service's :class:`~repro.sched.StandingQueryRegistry`.
+
+        Built on first access; :meth:`append_stream` evaluates it after
+        every ingest epoch once at least one criterion is registered.
+        """
+        with self._standing_lock:
+            if self._standing is None:
+                from repro.sched.standing import StandingQueryRegistry
+
+                self._standing = StandingQueryRegistry(self, metrics=self.metrics)
+            return self._standing
+
+    def register_standing_query(
+        self, criterion: str, tenant: str = "default", on_delta=None
+    ):
+        """Continuous auditing: register ``criterion`` for per-epoch deltas.
+
+        Returns the :class:`~repro.sched.StandingQuery` handle.  Each
+        subsequent ingest epoch pushes a
+        :class:`~repro.sched.StandingDelta` (to ``on_delta`` when given)
+        containing only the glsns that started or stopped matching; each
+        non-empty delta is recorded in the leakage ledger under the
+        ``standing_delta`` category and updates the tenant's live
+        ``C_DLA`` in the confidentiality observatory.
+        """
+        return self.standing.register(criterion, tenant=tenant, on_delta=on_delta)
+
+    def poll_standing(self):
+        """Evaluate all standing queries now; returns this epoch's deltas."""
+        return self.standing.evaluate_epoch()
+
+    def close(self) -> None:
+        """Tear down background machinery (scheduler, obs server, store).
+
+        Safe to call repeatedly; an in-memory service only stops its
+        scheduler and telemetry endpoint, a durable one additionally
+        quiesces compaction and fsyncs every write-ahead log.
+        """
+        self.shutdown_scheduler()
+        self.stop_obs_server()
+        store_close = getattr(self.store, "close", None)
+        if store_close is not None:
+            store_close()
 
     # -- auditing -----------------------------------------------------------------
 

@@ -10,6 +10,24 @@ The snapshot embeds the fragment plan and the accumulator parameters, so
 a restored store verifies the same integrity anchors — a restore followed
 by :class:`~repro.logstore.integrity.IntegrityChecker` is the recovery
 audit (tested).
+
+Format history:
+
+* **v1** recorded fragments, anchors, and ACLs only.  The combined
+  integrity ring's state — each node's append-only chain of
+  ``(glsn, anchor)`` pairs and the cluster's running chain value — was
+  silently dropped, so a restored store permanently fell back to the
+  per-glsn ring and, worse, restarted its chain fold from ``x0``.
+* **v2** (current) additionally persists each node's chain prefix and
+  the cluster chain value (including its explicit ``None`` after a
+  delete or a ``move_shard`` eviction suspended it), so a restore is
+  state-identical: batched combined integrity rounds keep their one-
+  exponentiation-per-hop fast path.
+
+Whole-store snapshots complement (not replace) the write-ahead log of
+:mod:`repro.store`: a snapshot is a point-in-time O(store) copy, the WAL
+is an O(delta) incremental journal — ``docs/storage.md`` discusses the
+trade-offs.
 """
 
 from __future__ import annotations
@@ -29,7 +47,8 @@ from repro.logstore.store import DistributedLogStore
 
 __all__ = ["snapshot_store", "restore_store", "dump_store", "load_store"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_FORMATS = (1, 2)
 
 
 def _value_to_json(value: Any) -> Any:
@@ -42,6 +61,20 @@ def _value_from_json(value: Any) -> Any:
     if isinstance(value, dict) and set(value) == {"__bytes__"}:
         return bytes.fromhex(value["__bytes__"])
     return value
+
+
+def _next_glsn(store: DistributedLogStore) -> int:
+    """Allocator cursor, tolerating routed allocators with nothing pinned.
+
+    A shard ring's :class:`~repro.logstore.glsn.RoutedGlsnAllocator` only
+    knows its next value while an append is in flight; between appends
+    the best restorable cursor is one past the highest stored glsn.
+    """
+    try:
+        return store.allocator.next_value
+    except LogStoreError:
+        glsns = store.glsns
+        return (glsns[-1] + 1) if glsns else 0
 
 
 def snapshot_store(store: DistributedLogStore) -> dict:
@@ -75,7 +108,14 @@ def snapshot_store(store: DistributedLogStore) -> dict:
                     "glsns": sorted(entry.glsns),
                 }
             )
-        nodes[node_id] = {"fragments": fragments, "acl": acl_entries}
+        nodes[node_id] = {
+            "fragments": fragments,
+            "acl": acl_entries,
+            # The combined-ring chain prefix this node still vouches for
+            # (pruned by deletes/evictions): [glsn, anchor-hex] pairs.
+            "chain": [[g, format(a, "x")] for g, a in node._chain],
+        }
+    chain_value = store._chain_value
     return {
         "format": _FORMAT_VERSION,
         "schema": schema,
@@ -83,38 +123,15 @@ def snapshot_store(store: DistributedLogStore) -> dict:
         "allow_overlap": plan.allow_overlap,
         "accumulator": {"n": format(store.accumulator.params.n, "x"),
                         "x0": format(store.accumulator.params.x0, "x")},
-        "next_glsn": store.allocator.next_value,
+        "next_glsn": _next_glsn(store),
+        "chain_value": format(chain_value, "x") if chain_value is not None else None,
         "nodes": nodes,
     }
 
 
-def restore_store(
-    snapshot: dict, authority: TicketAuthority
-) -> DistributedLogStore:
-    """Rebuild a store from a snapshot (ticket authority supplied fresh)."""
-    if snapshot.get("format") != _FORMAT_VERSION:
-        raise LogStoreError(
-            f"unsupported snapshot format {snapshot.get('format')!r}"
-        )
-    schema = GlobalSchema(
-        [
-            Attribute(item["name"], AttributeKind(item["kind"]))
-            for item in snapshot["schema"]
-        ]
-    )
-    plan = FragmentPlan(
-        schema, snapshot["assignment"], allow_overlap=snapshot["allow_overlap"]
-    )
-    params = AccumulatorParams(
-        n=int(snapshot["accumulator"]["n"], 16),
-        x0=int(snapshot["accumulator"]["x0"], 16),
-    )
-    store = DistributedLogStore(
-        plan,
-        authority,
-        params,
-        allocator=GlsnAllocator(start=snapshot["next_glsn"]),
-    )
+def _populate(store: DistributedLogStore, snapshot: dict) -> None:
+    """Install snapshot state into ``store`` (bypassing ticketed writes)."""
+    version = snapshot.get("format")
     for node_id, body in snapshot["nodes"].items():
         node = store.node_store(node_id)
         for item in body["fragments"]:
@@ -138,6 +155,58 @@ def restore_store(
             node.acl._entries[entry["ticket_id"]] = restored
             for glsn in restored.glsns:
                 node.acl._glsn_owner[glsn] = entry["ticket_id"]
+        node._chain = [
+            (pair[0], int(pair[1], 16)) for pair in body.get("chain", [])
+        ]
+    if version >= 2:
+        raw = snapshot.get("chain_value")
+        store._chain_value = int(raw, 16) if raw is not None else None
+    elif store.glsns:
+        # A v1 snapshot never recorded the running fold; resuming from x0
+        # over a non-empty store would deposit anchors that fold none of
+        # the existing fragments.  Suspend the chain (per-glsn fallback)
+        # rather than resume it wrong.
+        store._chain_value = None
+
+
+def restore_store(
+    snapshot: dict,
+    authority: TicketAuthority,
+    store: DistributedLogStore | None = None,
+) -> DistributedLogStore:
+    """Rebuild a store from a snapshot (ticket authority supplied fresh).
+
+    When ``store`` is given (the durable backend recovering into a
+    WAL-attached store), its existing stores are populated in place and
+    its allocator/plan are left to the caller; otherwise a fresh
+    in-memory :class:`DistributedLogStore` is built from the embedded
+    plan and accumulator parameters.
+    """
+    if snapshot.get("format") not in _SUPPORTED_FORMATS:
+        raise LogStoreError(
+            f"unsupported snapshot format {snapshot.get('format')!r}"
+        )
+    if store is None:
+        schema = GlobalSchema(
+            [
+                Attribute(item["name"], AttributeKind(item["kind"]))
+                for item in snapshot["schema"]
+            ]
+        )
+        plan = FragmentPlan(
+            schema, snapshot["assignment"], allow_overlap=snapshot["allow_overlap"]
+        )
+        params = AccumulatorParams(
+            n=int(snapshot["accumulator"]["n"], 16),
+            x0=int(snapshot["accumulator"]["x0"], 16),
+        )
+        store = DistributedLogStore(
+            plan,
+            authority,
+            params,
+            allocator=GlsnAllocator(start=snapshot["next_glsn"]),
+        )
+    _populate(store, snapshot)
     return store
 
 

@@ -220,14 +220,19 @@ class DistributedLogStore:
         acc_params: AccumulatorParams,
         allocator: GlsnAllocator | None = None,
         tracer=None,
+        store_factory: Callable[[str], FragmentStore] | None = None,
     ) -> None:
         self.plan = plan
         self.authority = authority
         self.accumulator = OneWayAccumulator(acc_params, tracer=tracer)
         self.allocator = allocator or GlsnAllocator()
+        # ``store_factory`` lets a durable backend supply WAL-attached
+        # node stores while this class keeps owning the write protocol.
+        factory = store_factory or (
+            lambda node_id: FragmentStore(node_id, authority)
+        )
         self.stores: dict[str, FragmentStore] = {
-            node_id: FragmentStore(node_id, authority)
-            for node_id in plan.node_ids
+            node_id: factory(node_id) for node_id in plan.node_ids
         }
         # Running accumulator over every fragment of every record appended
         # so far — the combined integrity ring's anchor.  Broken (None)

@@ -32,6 +32,8 @@ __all__ = [
     "decode_message",
     "encode_frame",
     "decode_frames",
+    "encode_payload",
+    "decode_payload",
     "encoded_size",
     "FRAME_HEADER_BYTES",
 ]
@@ -107,6 +109,28 @@ def _unpack(value: Any) -> Any:
             return bytes.fromhex(value["__bytes__"])
         return {k: _unpack(v) for k, v in value.items()}
     return value
+
+
+def encode_payload(value: Any) -> bytes:
+    """Serialize one bare payload value (no message envelope).
+
+    The same big-int/bytes wrapping as :func:`encode_message` — including
+    the batched ``__bigints__`` fast path — so non-wire consumers (the
+    durable store's write-ahead log) share the wire codec instead of
+    inventing a second losslessly-big-int format.
+    """
+    try:
+        return json.dumps(_pack(value), separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"failed to encode payload: {exc}") from exc
+
+
+def decode_payload(data: bytes) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    try:
+        return _unpack(json.loads(data.decode("utf-8")))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CodecError(f"failed to decode payload: {exc}") from exc
 
 
 def encode_message(msg: Message) -> bytes:

@@ -12,7 +12,9 @@ This package supplies the three layers of the failure model documented in
   with network-level duplication;
 * :func:`supervise_ring` — ring failover: diagnose a dead or partitioned
   hop, re-route around it, or degrade gracefully with an explicit
-  skipped-node list.
+  skipped-node list;
+* :func:`recovery_audit` — the post-restart §4.1 integrity sweep the
+  durable backend runs at the end of every crash recovery.
 """
 
 from repro.resilience.delivery import DedupWindow, MessageIdAllocator
@@ -24,13 +26,16 @@ from repro.resilience.failover import (
     supervise_ring,
 )
 from repro.resilience.policy import Deadline, RetryPolicy
+from repro.resilience.recovery import RecoveryAuditReport, recovery_audit
 
 __all__ = [
     "Deadline",
     "DedupWindow",
     "FailoverOutcome",
     "MessageIdAllocator",
+    "RecoveryAuditReport",
     "RetryPolicy",
+    "recovery_audit",
     "pick_coordinator",
     "ring_avoiding",
     "standby_id",

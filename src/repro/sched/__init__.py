@@ -11,7 +11,9 @@ This package multiplexes many in-flight queries over one deployment:
 * :class:`Channel` / :class:`ChannelMux` — tagged logical channels over
   one shared network, so interleaved SMC rounds never cross-talk;
 * :class:`SingleFlightCache` — in-flight deduplication of pure
-  computations (compute once, fan out).
+  computations (compute once, fan out);
+* :class:`StandingQueryRegistry` — register a criterion once, receive
+  per-ingest-epoch deltas (continuous auditing; see docs/storage.md).
 
 Configured by the ``REPRO_SCHED_*`` environment knobs (see
 :class:`SchedulerConfig` and docs/perf.md).
@@ -28,8 +30,12 @@ from repro.sched.scheduler import (
     QueryScheduler,
     SchedulerConfig,
 )
+from repro.sched.standing import StandingDelta, StandingQuery, StandingQueryRegistry
 
 __all__ = [
+    "StandingDelta",
+    "StandingQuery",
+    "StandingQueryRegistry",
     "Channel",
     "ChannelMux",
     "SingleFlightCache",

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.audit.executor import QueryResult
 from repro.audit.planner import QueryPlan, plan_query
@@ -54,6 +55,7 @@ from repro.shard.merge import merge_shard_glsns, rollup_cost
 from repro.shard.router import ShardRouter
 from repro.smc.base import SmcContext
 from repro.smc.leakage import LeakageEvent
+from repro.store import StoreConfig
 
 __all__ = [
     "ShardedAuditingService",
@@ -163,9 +165,16 @@ class ShardedAuditingService:
         faults=None,
         block_size: int | None = None,
         tenant_pinning: bool | None = None,
+        store_dir: str | None = None,
+        store_config=None,
     ) -> None:
         config = ShardConfig.from_env()
         count = shards if shards is not None else config.count
+        # Resolve the durable-store directory here rather than per ring:
+        # with only REPRO_STORE_DIR set, every ring would otherwise read
+        # the same path from the environment and interleave its WALs.
+        if store_dir is None:
+            store_dir = (store_config or StoreConfig.from_env()).directory
         self.block_size = block_size if block_size is not None else config.block_size
         self.tenant_pinning = (
             tenant_pinning if tenant_pinning is not None else config.tenant_pinning
@@ -215,6 +224,15 @@ class ShardedAuditingService:
                     realm=f"shard{i}",
                     shard_label=f"s{i}",
                     obs_from_env=False,
+                    # Durable cluster: every ring journals under its own
+                    # subdirectory, so per-ring WALs and checkpoints never
+                    # interleave and a single ring can be recovered alone.
+                    store_dir=(
+                        str(Path(store_dir) / f"ring{i}")
+                        if store_dir is not None
+                        else None
+                    ),
+                    store_config=store_config,
                 )
             )
         #: ``"auto"`` (default) lets the merge concatenate whenever the
@@ -258,8 +276,7 @@ class ShardedAuditingService:
 
     def shutdown(self) -> None:
         for svc in self.shards:
-            svc.shutdown_scheduler()
-            svc.stop_obs_server()
+            svc.close()
         if self.obs_server is not None:
             self.obs_server.stop()
             self.obs_server = None

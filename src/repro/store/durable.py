@@ -1,0 +1,163 @@
+"""A :class:`~repro.logstore.store.FragmentStore` backed by a WAL.
+
+:class:`DurableFragmentStore` keeps the exact in-memory structures (and
+therefore the exact read path, epochs, and cache keys) of the base
+class; every *mutation* additionally appends one record to the node's
+:class:`~repro.store.wal.WriteAheadLog` after the in-memory state change
+validates.  A record is durable once its WAL entry is flushed — the
+fsync policy decides when the OS page cache is forced out.
+
+Recovery applies the same records back through
+:meth:`DurableFragmentStore.apply_wal_record`, which bypasses ticket
+verification (like snapshot restore, it re-installs previously
+authorized state verbatim) and is idempotent, so a checkpoint that
+raced a crash can safely overlap the WAL it did not get to truncate.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.tickets import Operation, Ticket, TicketAuthority
+from repro.errors import LogStoreError, UnknownGlsnError
+from repro.logstore.access import AccessEntry
+from repro.logstore.fragmentation import Fragment
+from repro.logstore.store import FragmentStore
+from repro.store.wal import WriteAheadLog
+
+__all__ = ["DurableFragmentStore"]
+
+
+class DurableFragmentStore(FragmentStore):
+    """One DLA node's storage with an append-only durability log."""
+
+    def __init__(
+        self,
+        node_id: str,
+        authority: TicketAuthority,
+        wal: WriteAheadLog,
+    ) -> None:
+        super().__init__(node_id, authority)
+        self.wal = wal
+        #: True while recovery replays — replayed mutations must not be
+        #: re-logged or they would double on the next crash.
+        self._replaying = False
+
+    # -- logged mutations ----------------------------------------------------
+
+    def put(
+        self,
+        fragment: Fragment,
+        ticket: Ticket,
+        expected_accumulator: int,
+        chain_anchor: int | None = None,
+    ) -> None:
+        super().put(fragment, ticket, expected_accumulator, chain_anchor)
+        if not self._replaying:
+            self.wal.append(
+                {
+                    "op": "put",
+                    "glsn": fragment.glsn,
+                    "values": dict(fragment.values),
+                    "anchor": expected_accumulator,
+                    "chain": chain_anchor,
+                    "ticket_id": ticket.ticket_id,
+                    "rights": sorted(op.value for op in ticket.operations),
+                }
+            )
+
+    def delete(self, glsn: int, ticket: Ticket) -> None:
+        super().delete(glsn, ticket)
+        if not self._replaying:
+            self.wal.append({"op": "delete", "glsn": glsn, "ticket_id": ticket.ticket_id})
+
+    def evict(self, glsn: int) -> Fragment:
+        fragment = super().evict(glsn)
+        if not self._replaying:
+            self.wal.append({"op": "evict", "glsn": glsn})
+        return fragment
+
+    def tamper(self, glsn: int, attribute: str, new_value) -> None:
+        # A compromised node's *disk* is rewritten too (§4.1) — logging the
+        # tamper keeps a recovered store byte-identical to the pre-crash
+        # one, so the integrity ring still catches the rewrite afterwards.
+        super().tamper(glsn, attribute, new_value)
+        if not self._replaying:
+            self.wal.append(
+                {"op": "tamper", "glsn": glsn, "attribute": attribute,
+                 "value": new_value}
+            )
+
+    # -- replay --------------------------------------------------------------
+
+    def apply_wal_record(self, record: dict) -> None:
+        """Re-apply one logged mutation without ticket checks (idempotent)."""
+        op = record.get("op")
+        glsn = record.get("glsn")
+        if op == "put":
+            fragment = Fragment(
+                glsn=glsn, node_id=self.node_id, values=dict(record["values"])
+            )
+            self._fragments[glsn] = fragment
+            self._accumulators[glsn] = record["anchor"]
+            chain_anchor = record.get("chain")
+            if chain_anchor is not None and (
+                not self._chain or self._chain[-1][0] < glsn
+            ):
+                self._chain.append((glsn, chain_anchor))
+            entry = self.acl._entries.setdefault(
+                record["ticket_id"],
+                AccessEntry(
+                    ticket_id=record["ticket_id"],
+                    operations=frozenset(
+                        Operation(op_value) for op_value in record["rights"]
+                    ),
+                ),
+            )
+            entry.glsns.add(glsn)
+            self.acl._glsn_owner[glsn] = record["ticket_id"]
+            self._bump(glsn, present=True)
+        elif op == "delete":
+            if glsn not in self._fragments:
+                return  # idempotent overlap with the checkpoint
+            del self._fragments[glsn]
+            self._accumulators.pop(glsn, None)
+            self._chain = [entry for entry in self._chain if entry[0] < glsn]
+            ticket_id = record.get("ticket_id")
+            entry = self.acl._entries.get(ticket_id)
+            if entry is not None:
+                entry.glsns.discard(glsn)
+            self.acl._glsn_owner.pop(glsn, None)
+            self._bump(glsn, present=False)
+        elif op == "evict":
+            if glsn not in self._fragments:
+                return
+            del self._fragments[glsn]
+            self._accumulators.pop(glsn, None)
+            self._chain = [entry for entry in self._chain if entry[0] < glsn]
+            self._bump(glsn, present=False)
+        elif op == "tamper":
+            try:
+                fragment = self._read(glsn)
+            except UnknownGlsnError:
+                return
+            values = dict(fragment.values)
+            values[record["attribute"]] = record["value"]
+            self._fragments[glsn] = Fragment(
+                glsn=glsn, node_id=self.node_id, values=values
+            )
+            self._bump(glsn, present=True)
+        else:
+            raise LogStoreError(f"unknown WAL record op {op!r}")
+
+    def rollback_glsn(self, glsn: int) -> None:
+        """Drop a half-written append during recovery (never logged)."""
+        if glsn not in self._fragments:
+            return
+        del self._fragments[glsn]
+        self._accumulators.pop(glsn, None)
+        self._chain = [entry for entry in self._chain if entry[0] < glsn]
+        ticket_id = self.acl._glsn_owner.pop(glsn, None)
+        if ticket_id is not None:
+            entry = self.acl._entries.get(ticket_id)
+            if entry is not None:
+                entry.glsns.discard(glsn)
+        self._bump(glsn, present=False)

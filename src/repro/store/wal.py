@@ -1,0 +1,301 @@
+"""Append-only write-ahead log over length-prefixed segment files.
+
+One :class:`WriteAheadLog` per DLA node, under that node's directory.
+Records are framed exactly like the wire codec's stream frames — 4-byte
+big-endian length, 4-byte CRC-32 of the body, then the body — and the
+body is :func:`repro.net.codec.encode_payload` JSON, so accumulator
+anchors (arbitrary-precision ints) ride the same ``__bigint__`` /
+``__bigints__`` wrappers as on the wire instead of a second ad-hoc
+format.
+
+Segments rotate at ``REPRO_STORE_SEGMENT_BYTES``; the *active* segment
+takes appends, *sealed* segments are immutable and are what background
+compaction folds into the next checkpoint.  Durability is governed by
+the ``REPRO_STORE_FSYNC`` policy and the ``REPRO_STORE_BATCH_WINDOW``
+write-batching window (see :mod:`repro.store.config`).
+
+Replay tolerates a *torn tail*: a crash mid-write leaves the final
+record truncated or CRC-broken, and :meth:`WriteAheadLog.replay` stops
+cleanly at the last intact record instead of raising — the recovery
+layer then rolls the half-written append back across the cluster.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import LogStoreError
+from repro.net.codec import decode_payload, encode_payload
+from repro.store.config import StoreConfig
+
+__all__ = ["WriteAheadLog", "WalReplayReport", "RECORD_HEADER_BYTES"]
+
+#: 4-byte length prefix + 4-byte CRC-32, same shape as a wire frame.
+RECORD_HEADER_BYTES = 8
+
+_SEGMENT_GLOB = "wal-*.seg"
+
+
+def _segment_index(path: Path) -> int:
+    return int(path.stem.split("-", 1)[1])
+
+
+@dataclass
+class WalReplayReport:
+    """What one node's WAL replay saw."""
+
+    segments: int = 0
+    records: int = 0
+    #: True when the final segment ended in a truncated or CRC-broken
+    #: record (the torn tail a crash leaves behind).
+    torn_tail: bool = False
+    detail: str = ""
+    bytes_read: int = 0
+    #: Decoded records, in append order.
+    entries: list[dict] = field(default_factory=list)
+
+
+class WriteAheadLog:
+    """Per-node append-only log with batching, rotation, and replay.
+
+    Thread-safe: appends, flushes, and resets serialize on one lock (the
+    distributed write path already serializes appends, but compaction
+    runs from a background thread).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        config: StoreConfig | None = None,
+        metrics=None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.config = config or StoreConfig()
+        self._lock = threading.RLock()
+        self._handle = None
+        self._active_index = 0
+        self._active_bytes = 0
+        self._buffer: list[bytes] = []
+        self._buffer_bytes = 0
+        self._buffer_opened_at: float | None = None
+        self._closed = False
+        self._records_total = 0
+        if metrics is not None:
+            self._records_metric = metrics.counter(
+                "repro_store_wal_records_total",
+                help="records appended to the write-ahead log",
+            )
+            self._flushes_metric = metrics.counter(
+                "repro_store_wal_flushes_total",
+                help="write-ahead-log flushes (buffered records -> segment file)",
+            )
+            self._flush_hist = metrics.histogram(
+                "repro_store_wal_flush_seconds",
+                help="wall time of one WAL flush (write + fsync policy)",
+            )
+            self._segments_gauge = metrics.gauge(
+                "repro_store_wal_segments",
+                help="sealed (immutable) WAL segments awaiting compaction",
+            )
+        else:
+            self._records_metric = None
+            self._flushes_metric = None
+            self._flush_hist = None
+            self._segments_gauge = None
+        existing = self._segment_paths()
+        if existing:
+            self._active_index = _segment_index(existing[-1]) + 1
+
+    # -- paths ---------------------------------------------------------------
+
+    def _segment_paths(self) -> list[Path]:
+        return sorted(self.directory.glob(_SEGMENT_GLOB), key=_segment_index)
+
+    def _active_path(self) -> Path:
+        return self.directory / f"wal-{self._active_index:08d}.seg"
+
+    @property
+    def sealed_segment_count(self) -> int:
+        """Immutable segments on disk (excludes the active one)."""
+        with self._lock:
+            paths = self._segment_paths()
+            active = self._active_path()
+            return sum(1 for p in paths if p != active)
+
+    @property
+    def records_appended(self) -> int:
+        return self._records_total
+
+    # -- writes --------------------------------------------------------------
+
+    @staticmethod
+    def encode_record(record: dict) -> bytes:
+        body = encode_payload(record)
+        checksum = zlib.crc32(body) & 0xFFFFFFFF
+        return len(body).to_bytes(4, "big") + checksum.to_bytes(4, "big") + body
+
+    def append(self, record: dict) -> None:
+        """Buffer one record; flushed per the batch-window policy.
+
+        With ``batch_window == 0`` (the default) every append flushes
+        immediately.  A positive window holds records in memory until the
+        oldest buffered one is ``batch_window`` seconds old, amortizing
+        write syscalls across a burst — an explicit :meth:`flush` (the
+        ingest API issues one per batch) always drains the buffer.
+        """
+        encoded = self.encode_record(record)
+        with self._lock:
+            if self._closed:
+                raise LogStoreError(f"WAL {self.directory} is closed")
+            if self._buffer_opened_at is None:
+                self._buffer_opened_at = time.monotonic()
+            self._buffer.append(encoded)
+            self._buffer_bytes += len(encoded)
+            self._records_total += 1
+            if self._records_metric is not None:
+                self._records_metric.inc()
+            window = self.config.batch_window
+            if window <= 0 or (
+                time.monotonic() - self._buffer_opened_at >= window
+            ):
+                self._flush_locked()
+
+    def flush(self) -> None:
+        """Drain the buffer to the active segment (policy-dependent fsync)."""
+        with self._lock:
+            self._flush_locked()
+
+    def sync(self) -> None:
+        """Force the active segment to disk (``batch`` policy's sync point)."""
+        with self._lock:
+            self._flush_locked()
+            if self._handle is not None and self.config.fsync != "off":
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+
+    def _ensure_handle(self):
+        if self._handle is None:
+            self._handle = open(self._active_path(), "ab")
+            self._active_bytes = self._handle.tell()
+        return self._handle
+
+    def _flush_locked(self) -> None:
+        if not self._buffer:
+            return
+        started = time.monotonic()
+        handle = self._ensure_handle()
+        payload = b"".join(self._buffer)
+        handle.write(payload)
+        handle.flush()
+        if self.config.fsync == "always":
+            os.fsync(handle.fileno())
+        self._active_bytes += len(payload)
+        self._buffer.clear()
+        self._buffer_bytes = 0
+        self._buffer_opened_at = None
+        if self._flushes_metric is not None:
+            self._flushes_metric.inc()
+        if self._flush_hist is not None:
+            self._flush_hist.observe(time.monotonic() - started)
+        if self._active_bytes >= self.config.segment_bytes:
+            self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        """Seal the active segment and open the next one."""
+        if self._handle is not None:
+            self._handle.flush()
+            if self.config.fsync != "off":
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+        self._active_index += 1
+        self._active_bytes = 0
+        if self._segments_gauge is not None:
+            self._segments_gauge.set(self.sealed_segment_count)
+
+    # -- replay / truncation -------------------------------------------------
+
+    def replay(self) -> WalReplayReport:
+        """Decode every intact record currently on disk, in append order."""
+        report = WalReplayReport()
+        paths = self._segment_paths()
+        for ordinal, path in enumerate(paths):
+            report.segments += 1
+            data = path.read_bytes()
+            report.bytes_read += len(data)
+            offset = 0
+            while offset + RECORD_HEADER_BYTES <= len(data):
+                length = int.from_bytes(data[offset : offset + 4], "big")
+                expected_crc = int.from_bytes(data[offset + 4 : offset + 8], "big")
+                end = offset + RECORD_HEADER_BYTES + length
+                if end > len(data):
+                    report.torn_tail = True
+                    report.detail = (
+                        f"{path.name}: truncated record at offset {offset}"
+                    )
+                    return report
+                body = data[offset + RECORD_HEADER_BYTES : end]
+                if (zlib.crc32(body) & 0xFFFFFFFF) != expected_crc:
+                    report.torn_tail = True
+                    report.detail = (
+                        f"{path.name}: CRC mismatch at offset {offset}"
+                    )
+                    return report
+                report.entries.append(decode_payload(body))
+                report.records += 1
+                offset = end
+            if offset < len(data):
+                # Trailing bytes shorter than a header: torn mid-header.
+                report.torn_tail = True
+                report.detail = (
+                    f"{path.name}: {len(data) - offset} trailing bytes "
+                    f"(torn header)"
+                )
+                return report
+            del ordinal
+        return report
+
+    def reset(self) -> None:
+        """Delete every segment (post-checkpoint truncation).
+
+        The next append lands in a fresh segment whose index continues
+        past the deleted ones, so segment names never repeat within one
+        store directory.
+        """
+        with self._lock:
+            self._flush_locked()
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            for path in self._segment_paths():
+                path.unlink()
+            self._active_index += 1
+            self._active_bytes = 0
+            if self._segments_gauge is not None:
+                self._segments_gauge.set(0)
+
+    def close(self) -> None:
+        """Flush, fsync (unless ``off``), and release the file handle."""
+        with self._lock:
+            if self._closed:
+                return
+            self._flush_locked()
+            if self._handle is not None:
+                self._handle.flush()
+                if self.config.fsync != "off":
+                    os.fsync(self._handle.fileno())
+                self._handle.close()
+                self._handle = None
+            self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

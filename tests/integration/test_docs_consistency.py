@@ -146,6 +146,21 @@ class TestDocsReferenceRealKnobs:
             f"REPRO_SHARD_* knobs missing from the docs: {undocumented}"
         )
 
+    def test_every_store_knob_documented(self):
+        """Reverse sweep for the durable backend: every ``REPRO_STORE_*``
+        knob ``repro.store`` reads (directory, segment size, fsync
+        policy, batch window, compaction) must be documented in
+        docs/storage.md's knob table — an undocumented durability knob
+        is a silent data-loss footgun."""
+        store_source = "\n".join(read(p) for p in (SRC / "store").rglob("*.py"))
+        defined = set(re.findall(r"\bREPRO_STORE_[A-Z_]*[A-Z]\b", store_source))
+        assert defined, "expected REPRO_STORE_* knobs in repro.store"
+        storage_doc = read(REPO / "docs" / "storage.md")
+        undocumented = sorted(v for v in defined if v not in storage_doc)
+        assert not undocumented, (
+            f"REPRO_STORE_* knobs missing from docs/storage.md: {undocumented}"
+        )
+
     def test_every_precompute_knob_documented(self):
         """Same reverse sweep for the offline/online split: every
         ``REPRO_PRECOMPUTE*`` knob read by ``repro.precompute`` must be

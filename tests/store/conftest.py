@@ -1,0 +1,38 @@
+"""Shared fixtures for the durable-store suite."""
+
+import pytest
+
+from repro.crypto.accumulator import AccumulatorParams
+from repro.crypto.rng import DeterministicRng
+from repro.crypto.tickets import Operation
+from repro.store import StoreConfig, open_durable_store
+
+
+@pytest.fixture(scope="session")
+def acc_params():
+    return AccumulatorParams.generate(128, DeterministicRng(b"store-acc"))
+
+
+@pytest.fixture()
+def fast_config():
+    """No fsync, no background compaction: deterministic and quick."""
+    return StoreConfig(fsync="off", compact=False)
+
+
+@pytest.fixture()
+def durable_store(table1_plan, ticket_authority, acc_params, fast_config, tmp_path):
+    """A fresh durable store in a tmp directory; ``(store, ticket, dir)``."""
+    store, report = open_durable_store(
+        table1_plan, ticket_authority, acc_params, tmp_path, config=fast_config
+    )
+    assert report is None
+    ticket = ticket_authority.issue(
+        "U1", {Operation.READ, Operation.WRITE, Operation.DELETE}
+    )
+    yield store, ticket, tmp_path
+    store.close()
+
+
+def reopen(plan, authority, params, directory, config):
+    """Recover the store at ``directory``; returns ``(store, report)``."""
+    return open_durable_store(plan, authority, params, directory, config=config)

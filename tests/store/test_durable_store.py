@@ -1,0 +1,138 @@
+"""Durable cluster store: journaling, checkpoints, compaction, config."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.logstore.integrity import IntegrityChecker
+from repro.store import (
+    CHECKPOINT_FILE,
+    DurableDistributedLogStore,
+    StoreConfig,
+    open_durable_store,
+)
+from repro.workloads import paper_table1_rows
+
+from tests.store.conftest import reopen
+
+
+class TestWritePath:
+    def test_reads_equal_in_memory_semantics(self, durable_store):
+        store, ticket, _ = durable_store
+        receipts = store.append_record(paper_table1_rows(), ticket)
+        record = store.read_record(receipts[0].glsn, ticket)
+        assert record.values == paper_table1_rows()[0]
+        assert store.glsns == [r.glsn for r in receipts]
+        checker = IntegrityChecker(store)
+        assert all(r.ok for r in checker.check_all())
+
+    def test_every_mutation_journaled(self, durable_store):
+        store, ticket, _ = durable_store
+        receipts = store.append_record(paper_table1_rows()[:2], ticket)
+        store.delete_record(receipts[0].glsn, ticket)
+        for wal in store.wals.values():
+            ops = [e["op"] for e in wal.replay().entries]
+            assert ops == ["put", "put", "delete"]
+
+    def test_append_batch_one_sync_per_batch(self, durable_store):
+        store, ticket, _ = durable_store
+        receipts = store.append_batch(paper_table1_rows(), ticket)
+        assert [r.glsn for r in receipts] == store.glsns
+
+    def test_initial_checkpoint_written_up_front(self, durable_store):
+        store, _, directory = durable_store
+        assert (directory / CHECKPOINT_FILE).exists()
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_wals(self, durable_store):
+        store, ticket, directory = durable_store
+        store.append_record(paper_table1_rows(), ticket)
+        assert any(wal.replay().records for wal in store.wals.values())
+        store.checkpoint()
+        assert all(wal.replay().records == 0 for wal in store.wals.values())
+        assert (directory / CHECKPOINT_FILE).exists()
+
+    def test_recovery_from_checkpoint_only(
+        self, durable_store, table1_plan, ticket_authority, acc_params, fast_config
+    ):
+        store, ticket, directory = durable_store
+        receipts = store.append_record(paper_table1_rows(), ticket)
+        store.checkpoint()
+        store.close()
+        recovered, report = reopen(
+            table1_plan, ticket_authority, acc_params, directory, fast_config
+        )
+        assert report.checkpoint_loaded and report.wal_records == 0
+        assert recovered.glsns == [r.glsn for r in receipts]
+        assert report.audit_ok
+        recovered.close()
+
+    def test_background_compaction_checkpoints(
+        self, table1_plan, ticket_authority, acc_params, tmp_path
+    ):
+        import time
+
+        from repro.crypto.tickets import Operation
+
+        config = StoreConfig(
+            fsync="off", segment_bytes=200, compact_segments=1, compact=True
+        )
+        store, _ = open_durable_store(
+            table1_plan, ticket_authority, acc_params, tmp_path, config=config
+        )
+        ticket = ticket_authority.issue("U1", {Operation.READ, Operation.WRITE})
+        baseline = store.checkpoints_written
+        for row in paper_table1_rows() * 3:
+            store.append(dict(row), ticket)
+        deadline = time.monotonic() + 5.0
+        while store.checkpoints_written == baseline and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert store.checkpoints_written > baseline
+        store.close()
+
+
+class TestConfig:
+    def test_from_env_reads_every_knob(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_STORE_SEGMENT_BYTES", "4096")
+        monkeypatch.setenv("REPRO_STORE_FSYNC", "always")
+        monkeypatch.setenv("REPRO_STORE_BATCH_WINDOW", "0.5")
+        monkeypatch.setenv("REPRO_STORE_COMPACT_SEGMENTS", "9")
+        monkeypatch.setenv("REPRO_STORE_COMPACT", "off")
+        config = StoreConfig.from_env()
+        assert config.directory == str(tmp_path)
+        assert config.segment_bytes == 4096
+        assert config.fsync == "always"
+        assert config.batch_window == 0.5
+        assert config.compact_segments == 9
+        assert config.compact is False
+
+    def test_bad_values_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_FSYNC", "sometimes")
+        with pytest.raises(ConfigurationError):
+            StoreConfig.from_env()
+        monkeypatch.delenv("REPRO_STORE_FSYNC")
+        monkeypatch.setenv("REPRO_STORE_SEGMENT_BYTES", "zero")
+        with pytest.raises(ConfigurationError):
+            StoreConfig.from_env()
+
+    def test_explicit_config_validates(self):
+        with pytest.raises(ConfigurationError):
+            StoreConfig(fsync="nope")
+        with pytest.raises(ConfigurationError):
+            StoreConfig(batch_window=-1.0)
+
+
+class TestLifecycle:
+    def test_close_idempotent_and_context_manager(
+        self, table1_plan, ticket_authority, acc_params, fast_config, tmp_path
+    ):
+        with DurableDistributedLogStore(
+            table1_plan,
+            ticket_authority,
+            acc_params,
+            tmp_path,
+            config=fast_config,
+        ) as store:
+            pass
+        store.close()  # second close is a no-op

@@ -12,12 +12,17 @@ numbers a memory:
   file at a baseline (a git ref, default ``HEAD``, or a directory) and
   exit nonzero if any headline *regressed* beyond tolerance.
 
-Headline metrics are speedup ratios (higher is better) except P4's
-resilience overhead, which is a percentage where lower is better.
-Ratios regress when they drop more than ``--tolerance`` (default 10%)
-relative to baseline; percentage-point metrics regress when they rise
-more than ``--slack-points`` (default 5.0) absolute — relative deltas
-are meaningless around zero overhead.
+Headline units and their regression semantics:
+
+* ``x`` (speedup ratio) and ``rows/s`` (throughput) — higher is better;
+  regress when they drop more than ``--tolerance`` (default 10%)
+  relative to baseline.
+* ``pct`` (overhead percentage points) — lower is better; regress when
+  they rise more than ``--slack-points`` (default 5.0) absolute, since
+  relative deltas are meaningless around zero overhead.
+* ``s`` (wall seconds, P8 recovery) — lower is better; regress when
+  they rise more than ``--slack-seconds`` (default 5.0) absolute, since
+  sub-second timings make relative gates pure noise.
 
 Experiments present on only one side are reported but never fail the
 gate (a new benchmark must not need a baseline to land).
@@ -42,9 +47,11 @@ REPO = Path(__file__).resolve().parents[1]
 
 # (file name, experiment, headline label, unit, extractor).  A file may
 # contribute more than one headline (P1 carries both the engine speedup
-# and the observability propagation-overhead guard).
-# unit "x" = speedup ratio, higher is better; unit "pct" = overhead
-# percentage points, lower is better.
+# and the observability propagation-overhead guard; P8 carries both the
+# ingest throughput and the recovery-time guard).
+# Units: "x" = speedup ratio (higher better), "rows/s" = throughput
+# (higher better), "pct" = overhead percentage points (lower better),
+# "s" = wall seconds (lower better).
 HEADLINES = [
     (
         "BENCH_p1.json",
@@ -95,7 +102,23 @@ HEADLINES = [
         "x",
         lambda d: d["speedup_at_4"],
     ),
+    (
+        "BENCH_p8.json",
+        "P8 durable storage",
+        "sustained ingest throughput",
+        "rows/s",
+        lambda d: d["ingest"]["rows_per_s"],
+    ),
+    (
+        "BENCH_p8.json",
+        "P8 crash recovery",
+        "WAL-replay recovery time",
+        "s",
+        lambda d: d["recovery"]["seconds"],
+    ),
 ]
+
+HIGHER_IS_BETTER = {"x", "rows/s"}
 
 
 def load_current(name: str) -> dict | None:
@@ -131,7 +154,13 @@ def headline(extractor, data: dict) -> float | None:
 def fmt(value: float | None, unit: str) -> str:
     if value is None:
         return "—"
-    return f"{value:.2f}{'x' if unit == 'x' else ' pts'}"
+    if unit == "x":
+        return f"{value:.2f}x"
+    if unit == "rows/s":
+        return f"{value:.0f} rows/s"
+    if unit == "s":
+        return f"{value:.2f} s"
+    return f"{value:.2f} pts"
 
 
 def print_table(rows: list[tuple[str, ...]], headers: tuple[str, ...]) -> None:
@@ -158,6 +187,8 @@ def main(argv: list[str]) -> int:
                         help="allowed relative drop for speedup headlines (default 0.10)")
     parser.add_argument("--slack-points", type=float, default=5.0,
                         help="allowed absolute rise for percentage headlines (default 5.0)")
+    parser.add_argument("--slack-seconds", type=float, default=5.0,
+                        help="allowed absolute rise for wall-second headlines (default 5.0)")
     args = parser.parse_args(argv)
 
     rows = []
@@ -174,9 +205,13 @@ def main(argv: list[str]) -> int:
         verdict = "ok"
         if value is None or base_value is None:
             verdict = "skipped (one side missing)"
-        elif unit == "x":
+        elif unit in HIGHER_IS_BETTER:
             if value < base_value * (1.0 - args.tolerance):
                 verdict = f"REGRESSED >{args.tolerance:.0%}"
+                regressions.append((name, label, base_value, value, unit))
+        elif unit == "s":  # lower-is-better wall seconds
+            if value > base_value + args.slack_seconds:
+                verdict = f"REGRESSED >{args.slack_seconds:g} s"
                 regressions.append((name, label, base_value, value, unit))
         else:  # lower-is-better percentage points
             if value > base_value + args.slack_points:

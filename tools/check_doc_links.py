@@ -9,7 +9,10 @@ inline link ``[text](target)`` in the documentation set:
   target markdown file, GitHub slug rules);
 * **absolute URLs** are validated syntactically only (scheme + host) —
   CI must not depend on third-party servers being up;
-* bare intra-file anchors (``#section``) must match a local heading.
+* bare intra-file anchors (``#section``) must match a local heading;
+* **inline-code path references** (`` `src/repro/...` `` and friends)
+  must exist in the working tree — prose that names a source file is a
+  link in all but syntax, and rots the same way.
 
 Exit status is the number of broken links (0 = clean).
 
@@ -36,6 +39,11 @@ DEFAULT_DOC_SET = [
 
 # [text](target) — target must not contain spaces or nested parens.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `src/repro/foo.py` — repo-relative code paths named in inline code.
+# Wildcards (`ring*/wal-*.seg`) are layout illustrations, not references.
+_CODE_PATH = re.compile(
+    r"`((?:src|tests|tools|benchmarks|examples|docs)/[^`\s*]+)`"
+)
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 _FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
 
@@ -81,6 +89,13 @@ def check_file(path: Path) -> list[str]:
                     f"{path}: dead anchor {target!r} (no heading "
                     f"#{anchor} in {dest.name})"
                 )
+    for match in _CODE_PATH.finditer(searchable):
+        ref = match.group(1).rstrip(".,;:")
+        if not (REPO / ref).exists():
+            problems.append(
+                f"{path}: stale code-path reference `{ref}` "
+                f"(no such file in the repo)"
+            )
     return problems
 
 

@@ -2,10 +2,11 @@
 """Execute the documentation's runnable code examples.
 
 Docs rot fastest where they show code, so CI executes the fenced
-``python`` blocks that are written to be self-contained.  The allowlist
-below is *curated*: many blocks are intentionally elliptical (``...``
-placeholders, fragments referencing objects defined in prose) and can
-never run — listing a block here is a promise that it stays executable
+``python`` blocks that are written to be self-contained, plus a curated
+set of the ``examples/`` scripts.  The allowlists below are *curated*:
+many blocks are intentionally elliptical (``...`` placeholders,
+fragments referencing objects defined in prose) and can never run —
+listing a block or script here is a promise that it stays executable
 against the current API.
 
 Each allowlisted block runs in its own fresh namespace with ``src/`` on
@@ -20,7 +21,9 @@ Usage::
 
 from __future__ import annotations
 
+import os
 import re
+import subprocess
 import sys
 import traceback
 from pathlib import Path
@@ -38,6 +41,16 @@ ALLOWLIST: dict[str, list[int]] = {
                            1],      # failover: crash -> degraded result
 }
 
+#: example scripts (under examples/) run end-to-end as subprocesses.
+#: Curated like the block allowlist: listing a script here promises it
+#: stays runnable in CI; scripts that need a terminal or long wall time
+#: stay out.
+EXAMPLE_SCRIPTS: list[str] = [
+    "quickstart.py",        # minimal service round-trip
+    "integrity_audit.py",   # accumulator ring catches a tampered node
+    "durable_restart.py",   # crash with a torn WAL tail -> clean recovery
+]
+
 _BLOCK = re.compile(r"^```python[^\n]*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
 
 
@@ -54,6 +67,9 @@ def main(argv: list[str]) -> int:
                 mark = "RUN " if i in ALLOWLIST.get(rel, []) else "skip"
                 first = block.strip().splitlines()[0] if block.strip() else ""
                 print(f"{mark}  {rel}[{i}]  {first}")
+        for path in sorted((REPO / "examples").glob("*.py")):
+            mark = "RUN " if path.name in EXAMPLE_SCRIPTS else "skip"
+            print(f"{mark}  examples/{path.name}")
         return 0
 
     failures = 0
@@ -74,6 +90,28 @@ def main(argv: list[str]) -> int:
                 failures += 1
                 print(f"FAIL  {rel}[{i}]", file=sys.stderr)
                 traceback.print_exc()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    for name in EXAMPLE_SCRIPTS:
+        script = REPO / "examples" / name
+        if not script.exists():
+            print(f"FAIL  examples/{name}: script does not exist",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        ran += 1
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, env=env, cwd=REPO,
+        )
+        if proc.returncode != 0:
+            failures += 1
+            print(f"FAIL  examples/{name} (exit {proc.returncode})",
+                  file=sys.stderr)
+            sys.stderr.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+        else:
+            print(f"ok    examples/{name}")
     print(f"ran {ran} documentation examples: {failures} failed")
     return failures
 
