@@ -1,0 +1,338 @@
+"""Experiment P9: the async event-loop core vs the thread-pool scheduler.
+
+Three measurements, all against identically-seeded twin deployments with
+every concurrent answer asserted equal to the serial ground truth:
+
+* **In-flight ladder (1/8/64/256).**  A burst of ``c`` mixed queries
+  arrives at once; the thread path sizes a ``QueryScheduler`` pool to
+  the burst (what ``query_many(max_concurrency=c)`` does), the async
+  path admits the burst into ``AsyncQueryScheduler`` unchanged.  Wall
+  clock is best-of-``REPRO_BENCH_REPEATS``.  The SMC work is GIL-bound
+  big-int math, so the event loop's win here is the scheduling
+  machinery it *doesn't* pay — thread stacks, convoy switches, pool
+  spin-up — and it grows with the rung.
+* **Fan-out cap.**  The thread scheduler at its shipped configuration
+  (4 workers, queue depth 64) saturates when a 256-query burst arrives;
+  the async scheduler admits and resolves all 256 with no tuning at
+  all.  This is the structural claim: in-flight capacity is no longer a
+  worker-count knob.
+* **Pipelined-vs-lockstep ring rounds.**  The §4.1 integrity rings for
+  K disjoint glsns, run lockstep (one ring at a time, virtual times
+  summing) vs pipelined (``run_integrity_rounds_pipelined``: all rings
+  in flight on one event loop, virtual-time makespan = the slowest
+  ring).  Reports are asserted value-identical; the makespan gain is
+  ~K× and the bar asserts >= 2x.
+
+Writes ``BENCH_p9.json`` at the repo root.
+
+Environment knobs (for CI smoke runs on tiny machines):
+
+- ``REPRO_BENCH_ROWS``            log size                    (default 48)
+- ``REPRO_BENCH_LADDER``          comma rungs                 (default 1,8,64,256)
+- ``REPRO_BENCH_REPEATS``         best-of repeats per rung    (default 3)
+- ``REPRO_BENCH_MIN_SPEEDUP_64``  async/thread bar at c=64    (default 1.05)
+- ``REPRO_BENCH_MIN_PIPELINE``    virtual-time makespan bar   (default 2.0)
+- ``REPRO_BENCH_SUSTAIN``         in-flight sustain target    (default 256)
+
+Run directly with ``python benchmarks/bench_p9_async.py [--smoke]``;
+``--smoke`` applies tiny-machine knobs (fewer rows, shorter ladder,
+relaxed bars).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[1]
+if __name__ == "__main__":  # direct execution: make repo-root imports work
+    for _extra in (str(_ROOT), str(_ROOT / "src")):
+        if _extra not in sys.path:
+            sys.path.insert(0, _extra)
+
+from benchmarks.conftest import print_rows
+from repro.aio import AsyncQueryScheduler
+from repro.core import ConfidentialAuditingService
+from repro.crypto import (
+    AccumulatorParams,
+    DeterministicRng,
+    Operation,
+    TicketAuthority,
+)
+from repro.errors import SchedulerSaturatedError
+from repro.logstore import (
+    DistributedLogStore,
+    paper_fragment_plan,
+    paper_table1_schema,
+)
+from repro.net.simnet import SimNetwork
+from repro.sched import QueryScheduler
+from repro.workloads import paper_table1_rows
+
+ROWS = int(os.environ.get("REPRO_BENCH_ROWS", "48"))
+LADDER = [
+    int(c) for c in os.environ.get("REPRO_BENCH_LADDER", "1,8,64,256").split(",")
+]
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+MIN_SPEEDUP_64 = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP_64", "1.05"))
+MIN_PIPELINE = float(os.environ.get("REPRO_BENCH_MIN_PIPELINE", "2.0"))
+SUSTAIN = int(os.environ.get("REPRO_BENCH_SUSTAIN", "256"))
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_p9.json"
+
+# The P5 mix: two SMC-heavy criteria sharing the C1 > C5 cross anchor,
+# one cheap pure-local criterion, plus a fourth so a cycled burst never
+# degenerates to one repeated query.
+MIX = [
+    "C1 > C5 and C3 = 'bank'",
+    "C1 > C5 and C2 < 400",
+    "C3 = 'bank' or C3 = 'salary'",
+    "C2 < 400 and C3 = 'salary'",
+]
+
+
+def _build(rows: int) -> ConfidentialAuditingService:
+    """One deployment; identical seeds => identical twin services."""
+    schema = paper_table1_schema()
+    service = ConfidentialAuditingService(
+        schema,
+        paper_fragment_plan(schema),
+        prime_bits=64,
+        rng=DeterministicRng(b"p9-bench"),
+    )
+    ticket = service.register_user("p9-bench")
+    for i in range(rows):
+        service.log_event(
+            {
+                "Time": f"2004-01-{i % 28 + 1:02d}",
+                "id": f"u{i % 5}",
+                "EID": i,
+                "Tid": f"t{i}",
+                "protocl": "tcp",
+                "ip": f"10.0.0.{i % 7}",
+                "C": i % 3,
+                "C1": (i * 13) % 100,
+                "C2": (i * 29) % 1000,
+                "C3": ["bank", "salary", "shop"][i % 3],
+                "C4": i % 2,
+                "C5": i,
+            },
+            ticket,
+        )
+    return service
+
+
+def _burst(c: int) -> list[str]:
+    return (MIX * (c // len(MIX) + 1))[:c]
+
+
+class TestAsyncLadder:
+    def test_ladder_fanout_cap_and_pipelining(self):
+        results: dict = {
+            "experiment": "P9",
+            "rows": ROWS,
+            "mix": MIX,
+            "ladder": LADDER,
+            "repeats": REPEATS,
+            "min_speedup_64_asserted": MIN_SPEEDUP_64,
+            "min_pipeline_asserted": MIN_PIPELINE,
+        }
+
+        # Serial ground truth, one deployment per criterion evaluation.
+        serial_svc = _build(ROWS)
+        expected = {criterion: serial_svc.query(criterion) for criterion in MIX}
+        serial_svc.close()
+
+        # -- in-flight ladder ----------------------------------------------
+        # Coalescing off on both sides: every query in the burst executes,
+        # so the rung times fan-out machinery, not cache hits.
+        rungs = []
+        speedup_at = {}
+        for c in LADDER:
+            batch = _burst(c)
+
+            def run_thread() -> float:
+                svc = _build(ROWS)
+                start = time.perf_counter()
+                with QueryScheduler(
+                    svc, max_workers=c, queue_depth=c, coalesce=False
+                ) as sched:
+                    handles = [sched.submit(q) for q in batch]
+                    answers = sched.gather(handles)
+                elapsed = time.perf_counter() - start
+                for criterion, got in zip(batch, answers):
+                    assert got.glsns == expected[criterion].glsns
+                svc.close()
+                return elapsed
+
+            def run_async() -> float:
+                svc = _build(ROWS)
+                start = time.perf_counter()
+                with AsyncQueryScheduler(
+                    svc, max_inflight=c, coalesce=False
+                ) as sched:
+                    handles = [sched.submit(q) for q in batch]
+                    answers = sched.gather(handles)
+                elapsed = time.perf_counter() - start
+                for criterion, got in zip(batch, answers):
+                    assert got.glsns == expected[criterion].glsns
+                svc.close()
+                return elapsed
+
+            t_thread = min(run_thread() for _ in range(REPEATS))
+            t_async = min(run_async() for _ in range(REPEATS))
+            speedup = t_thread / t_async
+            speedup_at[c] = speedup
+            rungs.append(
+                {
+                    "inflight": c,
+                    "thread_s": round(t_thread, 3),
+                    "async_s": round(t_async, 3),
+                    "thread_qps": round(c / t_thread, 1),
+                    "async_qps": round(c / t_async, 1),
+                    "speedup": round(speedup, 2),
+                }
+            )
+        results["ladder_runs"] = rungs
+        print_rows(
+            f"P9: burst of c queries over {ROWS} rows (best of {REPEATS})",
+            ["in-flight", "thread s", "async s", "thread q/s", "async q/s", "x"],
+            [
+                (str(r["inflight"]), f"{r['thread_s']:.3f}", f"{r['async_s']:.3f}",
+                 f"{r['thread_qps']:.0f}", f"{r['async_qps']:.0f}",
+                 f"{r['speedup']:.2f}")
+                for r in rungs
+            ],
+        )
+        if 64 in speedup_at:
+            assert speedup_at[64] >= MIN_SPEEDUP_64, (
+                f"async is {speedup_at[64]:.2f}x the thread pool at 64 "
+                f"in flight, bar is {MIN_SPEEDUP_64:.2f}x"
+            )
+
+        # -- fan-out cap: shipped thread config vs untuned async -----------
+        # Fail-fast admission (timeout 0) exposes the shipped in-flight
+        # capacity: 4 workers + a 64-deep queue saturate well under the
+        # burst, where the async scheduler admits everything untouched.
+        svc = _build(ROWS)
+        admitted = 0
+        try:
+            with QueryScheduler(svc, admission_timeout=0.0) as sched:
+                handles = []
+                try:
+                    for q in _burst(SUSTAIN):
+                        handles.append(sched.submit(q))
+                        admitted += 1
+                except SchedulerSaturatedError:
+                    pass
+                sched.gather(handles)
+        finally:
+            svc.close()
+        assert admitted < SUSTAIN, (
+            "expected the shipped thread-pool config to saturate below "
+            f"{SUSTAIN} in-flight queries (admitted {admitted})"
+        )
+
+        svc = _build(ROWS)
+        start = time.perf_counter()
+        with AsyncQueryScheduler(svc) as sched:
+            handles = [sched.submit(q) for q in _burst(SUSTAIN)]
+            answers = sched.gather(handles)
+        t_sustain = time.perf_counter() - start
+        for criterion, got in zip(_burst(SUSTAIN), answers):
+            assert got.glsns == expected[criterion].glsns
+        svc.close()
+        results["fanout_cap"] = {
+            "target_inflight": SUSTAIN,
+            "thread_default_admitted": admitted,
+            "async_admitted": SUSTAIN,
+            "async_wall_s": round(t_sustain, 3),
+        }
+        print_rows(
+            f"P9: {SUSTAIN}-query burst, no tuning",
+            ["scheduler", "admitted", "wall s"],
+            [
+                ("thread (shipped: 4 workers, queue 64)", str(admitted), "—"),
+                ("async event loop", str(SUSTAIN), f"{t_sustain:.2f}"),
+            ],
+        )
+
+        # -- pipelined vs lockstep integrity rings (virtual time) ----------
+        authority = TicketAuthority(b"p9-bench-master-secret-0123456789")
+        store = DistributedLogStore(
+            paper_fragment_plan(paper_table1_schema()),
+            authority,
+            AccumulatorParams.generate(128, DeterministicRng(b"p9-acc")),
+        )
+        ticket = authority.issue("U1", {Operation.READ, Operation.WRITE})
+        receipts = store.append_record(paper_table1_rows(), ticket)
+        glsns = [r.glsn for r in receipts]
+
+        from repro.aio import AsyncSimNetwork
+        from repro.logstore.integrity import (
+            run_integrity_round,
+            run_integrity_rounds_pipelined,
+        )
+
+        lockstep_reports = []
+        lockstep_vt = 0.0
+        for glsn in glsns:
+            net = SimNetwork()
+            lockstep_reports.extend(
+                run_integrity_round(store, glsns=[glsn], net=net)
+            )
+            lockstep_vt += net.now
+
+        ring_nets: list[AsyncSimNetwork] = []
+
+        def factory(glsn: int) -> AsyncSimNetwork:
+            net = AsyncSimNetwork()
+            ring_nets.append(net)
+            return net
+
+        pipelined_reports = asyncio.run(
+            run_integrity_rounds_pipelined(store, glsns=glsns, net_factory=factory)
+        )
+        makespan = max(net.now for net in ring_nets)
+        assert pipelined_reports == lockstep_reports
+        assert all(r.verified for r in pipelined_reports)
+        gain = lockstep_vt / makespan
+        results["pipelined_rings"] = {
+            "glsns": len(glsns),
+            "lockstep_virtual_s": round(lockstep_vt, 4),
+            "pipelined_makespan_s": round(makespan, 4),
+            "gain": round(gain, 2),
+        }
+        print_rows(
+            f"P9: {len(glsns)} integrity rings, virtual-time makespan",
+            ["mode", "virtual s", "gain"],
+            [
+                ("lockstep (sum of rings)", f"{lockstep_vt:.3f}", "—"),
+                ("pipelined (slowest ring)", f"{makespan:.3f}", f"{gain:.1f}x"),
+            ],
+        )
+        assert gain >= MIN_PIPELINE, (
+            f"pipelined rings gain {gain:.2f}x in virtual-time makespan, "
+            f"bar is {MIN_PIPELINE:.1f}x"
+        )
+
+        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def main(argv: list[str]) -> int:
+    import pytest
+
+    if "--smoke" in argv:
+        os.environ.setdefault("REPRO_BENCH_ROWS", "12")
+        os.environ.setdefault("REPRO_BENCH_LADDER", "1,8,64")
+        os.environ.setdefault("REPRO_BENCH_REPEATS", "2")
+        os.environ.setdefault("REPRO_BENCH_MIN_SPEEDUP_64", "0.5")
+        os.environ.setdefault("REPRO_BENCH_SUSTAIN", "128")
+    return pytest.main([__file__, "-q", "-s"])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,69 @@
+"""`AsyncSmcContext`: coroutine entry points over the shared SMC context.
+
+The context object itself needs nothing new — :class:`SmcContext`'s
+ledgers are touched only between awaits on one event loop (or under
+their own locks), so the sync class is already coroutine-safe.  What the
+async core adds is *drivers*: every protocol in :mod:`repro.smc` has a
+``secure_*_async`` coroutine twin that drives the rounds with
+``await net.drain(...)`` instead of the blocking run loop.
+
+:class:`AsyncSmcContext` packages those twins as methods, mirroring how
+callers use the sync drivers::
+
+    ctx = AsyncSmcContext(prime, rng)
+    result = await ctx.set_intersection(sets, net=channel)
+
+Two independent runs awaited concurrently (``asyncio.gather``) pipeline
+their ring hops over the shared network; results are bitwise-identical
+to the sync drivers (the equivalence suite asserts it).
+"""
+
+from __future__ import annotations
+
+from repro.smc.base import SmcContext, SmcResult
+
+__all__ = ["AsyncSmcContext"]
+
+
+class AsyncSmcContext(SmcContext):
+    """An :class:`SmcContext` whose protocol entry points are coroutines."""
+
+    async def set_intersection(self, sets, **kwargs) -> SmcResult:
+        from repro.smc import secure_set_intersection_async
+
+        return await secure_set_intersection_async(self, sets, **kwargs)
+
+    async def set_union(self, sets, **kwargs) -> SmcResult:
+        from repro.smc import secure_set_union_async
+
+        return await secure_set_union_async(self, sets, **kwargs)
+
+    async def equality(self, left, right, **kwargs) -> SmcResult:
+        from repro.smc import secure_equality_async
+
+        return await secure_equality_async(self, left, right, **kwargs)
+
+    async def compare(self, left, right, **kwargs) -> SmcResult:
+        from repro.smc import secure_compare_async
+
+        return await secure_compare_async(self, left, right, **kwargs)
+
+    async def compare_batch(self, left, right, **kwargs) -> SmcResult:
+        from repro.smc import secure_compare_batch_async
+
+        return await secure_compare_batch_async(self, left, right, **kwargs)
+
+    async def ranking(self, values, **kwargs) -> SmcResult:
+        from repro.smc import secure_ranking_async
+
+        return await secure_ranking_async(self, values, **kwargs)
+
+    async def sum(self, values, observers, **kwargs) -> SmcResult:
+        from repro.smc import secure_sum_async
+
+        return await secure_sum_async(self, values, observers, **kwargs)
+
+    async def weighted_sum(self, values, weights, observers, **kwargs) -> SmcResult:
+        from repro.smc import secure_weighted_sum_async
+
+        return await secure_weighted_sum_async(self, values, weights, observers, **kwargs)

@@ -1,0 +1,391 @@
+"""Real-socket transport on asyncio streams.
+
+The wire format is *identical* to :class:`~repro.net.transport_tcp.TcpNode`
+— the CRC-framed codec of :mod:`repro.net.codec`, unchanged byte for
+byte — so async and sync nodes interoperate freely on one mesh.  What
+changes is the concurrency model:
+
+* **one pooled connection per peer** — the first send to a peer opens an
+  asyncio stream and a dedicated *writer task*; subsequent sends (from
+  the event loop or from any thread) enqueue frames onto that task's
+  queue, preserving per-peer order;
+* **writer-drain backpressure** — the writer task awaits
+  ``StreamWriter.drain()`` after every write, so a slow peer suspends
+  the one coroutine feeding it instead of blocking a thread or growing
+  an unbounded kernel buffer;
+* **reconnects** — a broken pipe closes the pooled stream and reopens
+  it once (mirroring the sync pool's single retry), feeding the same
+  per-peer ``repro_net_connections_open`` /
+  ``repro_net_reconnects_total`` pool-health ledger.
+
+Handlers keep the sync ``handler(msg, transport)`` signature the whole
+protocol suite is written against; they run on the owning event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Callable
+
+from repro.aio.loop import LoopThread
+from repro.errors import NodeUnreachableError, TransportClosedError, TransportTimeout
+from repro.net.codec import FRAME_HEADER_BYTES, decode_frames, encode_frame
+from repro.net.message import Message, NodeId
+from repro.net.stats import NetworkStats
+from repro.obs.tracer import NOOP_TRACER
+from repro.resilience.delivery import DedupWindow
+
+__all__ = ["AsyncTcpNode", "AsyncTcpCluster"]
+
+Handler = Callable[[Message, "AsyncTcpNode"], None]
+
+_READ_CHUNK = 65536
+
+
+class AsyncTcpNode:
+    """One networked participant on asyncio streams.
+
+    Owns (or shares) a :class:`~repro.aio.loop.LoopThread`; the listener,
+    reader tasks, and per-peer writer tasks all live on that loop, while
+    ``send`` / ``receive`` stay callable from any thread (sync facade).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        handler: Handler | None = None,
+        loop_thread: LoopThread | None = None,
+        tracer=None,
+        metrics=None,
+        telemetry=None,
+    ) -> None:
+        self.node_id = node_id
+        self.stats = NetworkStats()
+        self.tracer = tracer or NOOP_TRACER
+        self.telemetry = telemetry
+        if metrics is not None:
+            self.stats.attach_metrics(metrics)
+        self.corrupt_frames = 0
+        self.duplicates_dropped = 0
+        self._dedup = DedupWindow()
+        self._handler = handler
+        self._channel_handlers: dict[str, Handler] = {}
+        self._address_book: dict[NodeId, tuple[str, int]] = {}
+        self._owns_loop = loop_thread is None
+        self._loop_thread = loop_thread or LoopThread(name=f"aio-tcp-{node_id}")
+        self._closed = threading.Event()
+        # Per-peer outbound state, touched only on the loop: frame queue,
+        # writer task, open stream, and the ever-connected reconnect flag.
+        self._queues: dict[NodeId, asyncio.Queue] = {}
+        self._writer_tasks: dict[NodeId, asyncio.Task] = {}
+        self._writers: dict[NodeId, asyncio.StreamWriter] = {}
+        self._ever_connected: set[NodeId] = set()
+        self._inbox: asyncio.Queue = self._loop_thread.run(self._make_inbox())
+        self._server: asyncio.base_events.Server = self._loop_thread.run(
+            self._start_server()
+        )
+
+    @staticmethod
+    async def _make_inbox() -> asyncio.Queue:
+        return asyncio.Queue()
+
+    async def _start_server(self):
+        return await asyncio.start_server(self._serve_connection, "127.0.0.1", 0)
+
+    # -- wiring -----------------------------------------------------------
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop_thread.loop
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.sockets[0].getsockname()
+
+    def set_handler(self, handler: Handler) -> None:
+        self._handler = handler
+
+    def register_channel(self, tag: str, handler: Handler) -> None:
+        """Route deliveries tagged ``channel=tag`` to a dedicated handler."""
+        self._channel_handlers[tag] = handler
+
+    def unregister_channel(self, tag: str) -> None:
+        self._channel_handlers.pop(tag, None)
+
+    def learn_peers(self, address_book: dict[NodeId, tuple[str, int]]) -> None:
+        """Install the cluster address book (node id -> (host, port))."""
+        self._address_book.update(address_book)
+
+    # -- sending ----------------------------------------------------------
+
+    def _frame(self, msg: Message) -> bytes:
+        if msg.dst not in self._address_book:
+            raise NodeUnreachableError(f"unknown peer {msg.dst!r}")
+        self._stamp_trace_context(msg)
+        frame = encode_frame(msg)
+        msg.size_bytes = len(frame) - FRAME_HEADER_BYTES
+        return frame
+
+    def _stamp_trace_context(self, msg: Message) -> None:
+        hub = self.telemetry
+        if (
+            hub is None
+            or not hub.enabled
+            or msg.trace_id is not None
+            or msg.kind.startswith("obs.")
+        ):
+            return
+        context = hub.sender_context(msg.src)
+        if context is not None:
+            msg.trace_id, msg.parent_span_id = context
+
+    def _record_send(self, msg: Message) -> None:
+        if not msg.kind.startswith("obs."):
+            self.stats.record(msg.kind, msg.size_bytes, msg.src, msg.dst)
+        if self.tracer.enabled:
+            self.tracer.add_event(
+                "net.send",
+                {
+                    "src": msg.src,
+                    "dst": msg.dst,
+                    "kind": msg.kind,
+                    "bytes": msg.size_bytes,
+                },
+            )
+
+    def _enqueue(self, dst: NodeId, payload: bytes) -> None:
+        """Hand ``payload`` to ``dst``'s writer task.  Runs on the loop."""
+        queue = self._queues.get(dst)
+        if queue is None:
+            queue = self._queues[dst] = asyncio.Queue()
+            self._writer_tasks[dst] = self.loop.create_task(self._writer_loop(dst))
+        queue.put_nowait(payload)
+
+    def send(self, msg: Message) -> None:
+        """Send one framed message; callable from the loop or any thread."""
+        if self._closed.is_set():
+            raise TransportClosedError(f"{self.node_id} is closed")
+        frame = self._frame(msg)
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is self.loop:
+            self._enqueue(msg.dst, frame)
+        else:
+            self.loop.call_soon_threadsafe(self._enqueue, msg.dst, frame)
+        self._record_send(msg)
+
+    def send_many(self, msgs: list[Message]) -> None:
+        """Ship several messages, one queue item (one write) per peer."""
+        if self._closed.is_set():
+            raise TransportClosedError(f"{self.node_id} is closed")
+        batches: dict[NodeId, bytearray] = {}
+        for msg in msgs:
+            batches.setdefault(msg.dst, bytearray()).extend(self._frame(msg))
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        for dst, payload in batches.items():
+            if running is self.loop:
+                self._enqueue(dst, bytes(payload))
+            else:
+                self.loop.call_soon_threadsafe(self._enqueue, dst, bytes(payload))
+        for msg in msgs:
+            self._record_send(msg)
+
+    async def _connect(self, dst: NodeId) -> asyncio.StreamWriter:
+        _reader, writer = await asyncio.open_connection(*self._address_book[dst])
+        self._writers[dst] = writer
+        self.stats.record_connect(dst, reconnect=dst in self._ever_connected)
+        self._ever_connected.add(dst)
+        return writer
+
+    async def _writer_loop(self, dst: NodeId) -> None:
+        """Drain ``dst``'s frame queue through one pooled connection."""
+        queue = self._queues[dst]
+        while not self._closed.is_set():
+            payload = await queue.get()
+            writer = self._writers.get(dst)
+            try:
+                if writer is None:
+                    writer = await self._connect(dst)
+                writer.write(payload)
+                await writer.drain()
+            except (OSError, ConnectionError):
+                # One reconnect attempt: the peer may have restarted.
+                if self._writers.pop(dst, None) is not None:
+                    self.stats.record_disconnect(dst)
+                if self._closed.is_set():
+                    return
+                writer = await self._connect(dst)
+                writer.write(payload)
+                await writer.drain()
+
+    # -- receiving --------------------------------------------------------
+
+    def _on_corrupt(self, error) -> None:
+        self.corrupt_frames += 1
+        if self.tracer.enabled:
+            self.tracer.add_event(
+                "net.corrupt_drop", {"node": self.node_id, "error": str(error)}
+            )
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        buffer = bytearray()
+        try:
+            while not self._closed.is_set():
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    return
+                buffer.extend(chunk)
+                for msg in decode_frames(buffer, on_corrupt=self._on_corrupt):
+                    self._dispatch(msg)
+        finally:
+            writer.close()
+
+    def _dispatch(self, msg: Message) -> None:
+        if msg.msg_id is not None:
+            if self._dedup.seen((msg.src, msg.dst), msg.msg_id):
+                self.duplicates_dropped += 1
+                if self.tracer.enabled:
+                    self.tracer.add_event(
+                        "resilience.duplicate_dropped",
+                        {"node": self.node_id, "mid": msg.msg_id},
+                    )
+                return
+        hub = self.telemetry
+        if hub is not None and hub.enabled and not msg.kind.startswith("obs."):
+            with hub.node_span(
+                self.node_id,
+                f"node.{msg.kind}",
+                {
+                    "node": self.node_id,
+                    "kind": msg.kind,
+                    "src": msg.src,
+                    "messages": 1,
+                    "bytes": msg.size_bytes,
+                },
+                trace_id=msg.trace_id,
+                remote_parent=msg.parent_span_id,
+            ):
+                self._deliver(msg)
+        elif self.tracer.enabled:
+            with self.tracer.span(
+                "tcp.recv",
+                {"node": self.node_id, "src": msg.src, "kind": msg.kind},
+            ):
+                self.tracer.add_event(
+                    "net.recv", {"src": msg.src, "dst": msg.dst, "kind": msg.kind}
+                )
+                self._deliver(msg)
+        else:
+            self._deliver(msg)
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.channel is not None:
+            channel_handler = self._channel_handlers.get(msg.channel)
+            if channel_handler is not None:
+                channel_handler(msg, self)
+                return
+        if self._handler is not None:
+            self._handler(msg, self)
+        else:
+            self._inbox.put_nowait(msg)
+
+    async def receive_async(self, timeout: float | None = None) -> Message:
+        """Await the next inbox message (handler-less pull-style usage)."""
+        try:
+            if timeout is None:
+                return await self._inbox.get()
+            return await asyncio.wait_for(self._inbox.get(), timeout)
+        except asyncio.TimeoutError as exc:
+            raise TransportTimeout(
+                f"{self.node_id}: no message within {timeout}s"
+            ) from exc
+
+    def receive(self, timeout: float | None = None) -> Message:
+        """Blocking sync facade over :meth:`receive_async`."""
+        return self._loop_thread.run(
+            self.receive_async(timeout), timeout=None if timeout is None else timeout + 5
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def _shutdown(self) -> None:
+        self._server.close()
+        for task in self._writer_tasks.values():
+            task.cancel()
+        for dst, writer in list(self._writers.items()):
+            try:
+                writer.close()
+            except OSError:
+                pass
+            self.stats.record_disconnect(dst)
+        self._writers.clear()
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._loop_thread.running:
+            try:
+                self._loop_thread.run(self._shutdown(), timeout=10.0)
+            except Exception:
+                pass
+        if self._owns_loop:
+            self._loop_thread.close()
+
+    def __enter__(self) -> "AsyncTcpNode":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncTcpCluster:
+    """``node_ids`` on ephemeral localhost ports, meshed, sharing one loop."""
+
+    def __init__(
+        self,
+        node_ids: list[NodeId],
+        tracer=None,
+        metrics=None,
+        telemetry=None,
+        loop_thread: LoopThread | None = None,
+    ) -> None:
+        self.telemetry = telemetry
+        self._owns_loop = loop_thread is None
+        self.loop_thread = loop_thread or LoopThread(name="aio-tcp-cluster")
+        self.nodes: dict[NodeId, AsyncTcpNode] = {
+            node_id: AsyncTcpNode(
+                node_id,
+                loop_thread=self.loop_thread,
+                tracer=tracer,
+                metrics=metrics,
+                telemetry=telemetry,
+            )
+            for node_id in node_ids
+        }
+        book = {node_id: node.address for node_id, node in self.nodes.items()}
+        for node in self.nodes.values():
+            node.learn_peers(book)
+
+    def __getitem__(self, node_id: NodeId) -> AsyncTcpNode:
+        return self.nodes[node_id]
+
+    def close(self) -> None:
+        for node in self.nodes.values():
+            node.close()
+        if self._owns_loop:
+            self.loop_thread.close()
+
+    def __enter__(self) -> "AsyncTcpCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

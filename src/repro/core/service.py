@@ -452,9 +452,13 @@ class ConfidentialAuditingService:
         """Plan (Figure 3 decomposition) without executing."""
         return plan_query(criterion, self.schema, self.store.plan, tracer=self.tracer)
 
-    def _fresh_net(self) -> SimNetwork:
-        """A per-query simulated network wired into the tracer/metrics."""
-        return SimNetwork(
+    def _fresh_net(self, net_class=SimNetwork) -> SimNetwork:
+        """A per-query simulated network wired into the tracer/metrics.
+
+        ``net_class`` lets the async scheduler request an
+        :class:`~repro.aio.AsyncSimNetwork` with identical wiring.
+        """
+        return net_class(
             tracer=self.tracer,
             metrics=self.metrics,
             resilience=self.resilience,
@@ -606,18 +610,28 @@ class ConfidentialAuditingService:
 
     @property
     def scheduler(self):
-        """The service's persistent :class:`~repro.sched.QueryScheduler`.
+        """The service's persistent concurrent-query scheduler.
 
-        Built on first access from the ``REPRO_SCHED_*`` environment knobs
-        and reused for every subsequent :meth:`submit` / :meth:`query_many`
-        call, so admitted queries share its coalescing caches and channel
-        mux.  :meth:`shutdown_scheduler` tears it down.
+        Built on first access and reused for every subsequent
+        :meth:`submit` / :meth:`query_many` call, so admitted queries
+        share its coalescing caches and channel mux.  By default this is
+        the event-loop :class:`~repro.aio.AsyncQueryScheduler`
+        (``REPRO_AIO_*`` knobs); setting ``REPRO_AIO_SCHEDULER=off``
+        restores the thread-pool :class:`~repro.sched.QueryScheduler`
+        (``REPRO_SCHED_*`` knobs).  Both expose the same submit/gather/
+        coalesce_stats/shutdown surface and resolve handles to identical
+        results.  :meth:`shutdown_scheduler` tears it down.
         """
         with self._sched_lock:
             if self._scheduler is None:
-                from repro.sched import QueryScheduler
+                from repro.aio import AsyncQueryScheduler, aio_scheduler_enabled
 
-                self._scheduler = QueryScheduler(self)
+                if aio_scheduler_enabled():
+                    self._scheduler = AsyncQueryScheduler(self)
+                else:
+                    from repro.sched import QueryScheduler
+
+                    self._scheduler = QueryScheduler(self)
             return self._scheduler
 
     def submit(self, criterion: str, timeout: float | None = None):

@@ -34,6 +34,8 @@ from repro.logstore.integrity import (
     IntegrityNode,
     IntegrityReport,
     run_integrity_round,
+    run_integrity_round_async,
+    run_integrity_rounds_pipelined,
 )
 from repro.logstore.persistence import (
     dump_store,
@@ -80,6 +82,8 @@ __all__ = [
     "IntegrityNode",
     "IntegrityReport",
     "run_integrity_round",
+    "run_integrity_round_async",
+    "run_integrity_rounds_pipelined",
     "snapshot_store",
     "restore_store",
     "dump_store",

@@ -44,7 +44,7 @@ from repro.errors import IntegrityError, ProtocolAbortError, RingFailoverError
 from repro.logstore.store import DistributedLogStore, FragmentStore
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
-from repro.resilience import Deadline, ring_avoiding, supervise_ring
+from repro.resilience import Deadline, ring_avoiding, supervise_ring, supervise_ring_async
 
 __all__ = [
     "IntegrityChecker",
@@ -52,8 +52,12 @@ __all__ = [
     "BatchIntegrityReport",
     "IntegrityNode",
     "run_integrity_round",
+    "run_integrity_round_async",
     "run_batched_integrity_round",
+    "run_batched_integrity_round_async",
     "run_combined_integrity_round",
+    "run_combined_integrity_round_async",
+    "run_integrity_rounds_pipelined",
 ]
 
 
@@ -737,3 +741,240 @@ def run_combined_integrity_round(
         observed=verdict.observed,
         reports=tuple(reports),
     )
+
+
+# -- coroutine twins ---------------------------------------------------------
+#
+# Same nodes, token modes, fold counts and reports as the sync drivers; the
+# rounds are driven by ``await net.drain(...)`` so independent checks over
+# disjoint glsns overlap on one event loop (see run_integrity_rounds_pipelined).
+
+
+def _async_net():
+    from repro.aio.simnet import AsyncSimNetwork
+
+    return AsyncSimNetwork()
+
+
+async def _supervised_round_async(
+    store: DistributedLogStore,
+    targets: list[int],
+    initiator: str,
+    net,
+    deadline: Deadline | None,
+    mode: str,
+    precompute=None,
+    crypto=None,
+):
+    """Coroutine twin of :func:`_supervised_round` (same launch closure)."""
+    ring_all = sorted(store.stores)
+    nodes_box: dict[str, IntegrityNode] = {}
+
+    def launch(alive: list[str], avoid: frozenset):
+        if initiator not in alive:
+            raise RingFailoverError(
+                f"integrity_ring: initiator {initiator!r} is unreachable"
+            )
+        order = ring_avoiding(alive, avoid)
+        pivot = order.index(initiator)
+        order = order[pivot:] + order[:pivot]
+        nodes_box.clear()
+        nodes_box.update(
+            {
+                nid: IntegrityNode(
+                    nid, store.stores[nid], store.accumulator, order,
+                    precompute=precompute, crypto=crypto,
+                    telemetry=getattr(net, "telemetry", None),
+                )
+                for nid in alive
+            }
+        )
+        for nid, node in nodes_box.items():
+            net.register(nid, node.handle)
+        init = nodes_box[initiator]
+        if mode == "per-glsn":
+            for glsn in targets:
+                init.start_check(net, glsn)
+        elif mode == "batched":
+            init.start_batch_check(net, targets)
+        else:
+            init.start_combined_check(net, targets)
+
+        def collect():
+            node = nodes_box[initiator]
+            if mode == "combined":
+                if node.state.combined is None:
+                    return None
+                return {"combined": node.state.combined}
+            if any(glsn not in node.state.reports for glsn in targets):
+                return None
+            return {"reports": [node.state.reports[glsn] for glsn in targets]}
+
+        return collect
+
+    return await supervise_ring_async(
+        net, "integrity_ring", ring_all, launch,
+        essential=[initiator], min_parties=1, deadline=deadline,
+    )
+
+
+async def run_integrity_round_async(
+    store: DistributedLogStore,
+    glsns: list[int] | None = None,
+    initiator: str | None = None,
+    net=None,
+    deadline: Deadline | None = None,
+    precompute=None,
+    crypto=None,
+) -> list[IntegrityReport]:
+    """Coroutine twin of :func:`run_integrity_round`."""
+    net = net or _async_net()
+    net, nodes, initiator, targets = _ring_setup(
+        store, glsns, initiator, net, precompute=precompute, crypto=crypto
+    )
+    if net.reliable:
+        outcome = await _supervised_round_async(
+            store, targets, initiator, net, deadline, "per-glsn",
+            precompute=precompute, crypto=crypto,
+        )
+        reports = outcome.values["reports"]
+        return _degrade(reports, outcome.skipped) if outcome.degraded else reports
+    for glsn in targets:
+        nodes[initiator].start_check(net, glsn)
+    await net.drain(deadline=deadline)
+    return _collect_reports(nodes[initiator], targets)
+
+
+async def run_batched_integrity_round_async(
+    store: DistributedLogStore,
+    glsns: list[int] | None = None,
+    initiator: str | None = None,
+    net=None,
+    deadline: Deadline | None = None,
+    precompute=None,
+    crypto=None,
+) -> list[IntegrityReport]:
+    """Coroutine twin of :func:`run_batched_integrity_round`."""
+    net = net or _async_net()
+    net, nodes, initiator, targets = _ring_setup(
+        store, glsns, initiator, net, precompute=precompute, crypto=crypto
+    )
+    if not targets:
+        return []
+    if net.reliable:
+        outcome = await _supervised_round_async(
+            store, targets, initiator, net, deadline, "batched",
+            precompute=precompute, crypto=crypto,
+        )
+        reports = outcome.values["reports"]
+        return _degrade(reports, outcome.skipped) if outcome.degraded else reports
+    nodes[initiator].start_batch_check(net, targets)
+    await net.drain(deadline=deadline)
+    return _collect_reports(nodes[initiator], targets)
+
+
+async def run_combined_integrity_round_async(
+    store: DistributedLogStore,
+    glsns: list[int] | None = None,
+    initiator: str | None = None,
+    net=None,
+    localize: bool = True,
+    deadline: Deadline | None = None,
+    precompute=None,
+    crypto=None,
+) -> BatchIntegrityReport:
+    """Coroutine twin of :func:`run_combined_integrity_round`."""
+    targets = list(glsns) if glsns is not None else store.glsns
+    ring = sorted(store.stores)
+    first = initiator or (ring[0] if ring else None)
+    anchor = (
+        store.stores[first].chain_anchor_for(targets)
+        if first in store.stores
+        else None
+    )
+    if anchor is None or not targets:
+        reports = await run_batched_integrity_round_async(
+            store, glsns=targets, initiator=initiator, net=net, deadline=deadline,
+            precompute=precompute, crypto=crypto,
+        )
+        skipped = tuple(
+            sorted({n for r in reports for n in getattr(r, "skipped_nodes", ())})
+        )
+        return BatchIntegrityReport(
+            glsns=tuple(targets),
+            ok=all(r.ok for r in reports),
+            mode="per-glsn",
+            reports=tuple(reports),
+            verified=not skipped,
+            skipped_nodes=skipped,
+        )
+    net = net or _async_net()
+    _, nodes, first, targets = _ring_setup(
+        store, targets, initiator, net, precompute=precompute, crypto=crypto
+    )
+    if net.reliable:
+        outcome = await _supervised_round_async(
+            store, targets, first, net, deadline, "combined",
+            precompute=precompute, crypto=crypto,
+        )
+        verdict = outcome.values["combined"]
+        if outcome.degraded:
+            return replace(
+                verdict, ok=False, verified=False, skipped_nodes=outcome.skipped
+            )
+    else:
+        nodes[first].start_combined_check(net, targets)
+        await net.drain(deadline=deadline)
+        verdict = nodes[first].state.combined
+    if verdict is None:
+        raise ProtocolAbortError("combined integrity round produced no verdict")
+    if verdict.ok or not localize:
+        return verdict
+    reports = await run_batched_integrity_round_async(
+        store, glsns=targets, initiator=initiator, net=net, deadline=deadline,
+        precompute=precompute, crypto=crypto,
+    )
+    return BatchIntegrityReport(
+        glsns=verdict.glsns,
+        ok=verdict.ok,
+        mode=verdict.mode,
+        expected=verdict.expected,
+        observed=verdict.observed,
+        reports=tuple(reports),
+    )
+
+
+async def run_integrity_rounds_pipelined(
+    store: DistributedLogStore,
+    glsns: list[int] | None = None,
+    initiator: str | None = None,
+    deadline: Deadline | None = None,
+    precompute=None,
+    crypto=None,
+    net_factory=None,
+) -> list[IntegrityReport]:
+    """Overlap per-glsn §4.1 rings as concurrent tasks on one event loop.
+
+    Each glsn's token circulates on its own network (``net_factory``
+    defaults to a fresh :class:`~repro.aio.simnet.AsyncSimNetwork` per
+    glsn), so the folds for disjoint glsns interleave instead of running
+    lockstep: in virtual time the makespan is the *slowest* ring rather
+    than the sum of all rings.  Reports come back in request order and
+    are value-identical to :func:`run_integrity_round` — only scheduling
+    changes, never the folds.
+    """
+    import asyncio
+
+    targets = list(glsns) if glsns is not None else store.glsns
+    if not targets:
+        return []
+    factory = net_factory or (lambda glsn: _async_net())
+
+    async def one(glsn: int) -> IntegrityReport:
+        reports = await run_integrity_round_async(
+            store, glsns=[glsn], initiator=initiator, net=factory(glsn),
+            deadline=deadline, precompute=precompute, crypto=crypto,
+        )
+        return reports[0]
+
+    return list(await asyncio.gather(*(one(glsn) for glsn in targets)))

@@ -146,6 +146,13 @@ class SimNetwork:
         #: message's channel tag.
         self.failed_links_by_channel: dict[str, set[tuple[NodeId, NodeId]]] = {}
         self.dead_letters_by_channel: dict[str, list[Message]] = {}
+        #: Per-channel count of outstanding work (queued deliveries,
+        #: unacknowledged reliable sends, channel-tagged timers).  A
+        #: channel with backlog 0 is quiescent *for that channel* even
+        #: while neighbors still have traffic in flight — the signal the
+        #: async drain loop (:mod:`repro.aio`) waits on instead of global
+        #: queue exhaustion.
+        self._channel_backlog: dict[str, int] = {}
         #: Optional callback invoked with every dropped message (fault
         #: drops, corrupt frames, crash-unregistered destinations) so a
         #: channel multiplexer can attribute drops per query.
@@ -194,12 +201,47 @@ class SimNetwork:
         if tracer_event and self.tracer.enabled:
             self.tracer.add_event(tracer_event, attrs or {})
 
+    # -- per-channel quiescence -------------------------------------------
+
+    def _backlog_add(self, channel: str | None, n: int = 1) -> None:
+        if channel is not None:
+            self._channel_backlog[channel] = (
+                self._channel_backlog.get(channel, 0) + n
+            )
+
+    def _backlog_sub(self, channel: str | None, n: int = 1) -> None:
+        if channel is None:
+            return
+        left = self._channel_backlog.get(channel, 0) - n
+        if left > 0:
+            self._channel_backlog[channel] = left
+        else:
+            self._channel_backlog.pop(channel, None)
+
+    def channel_backlog(self, channel: str) -> int:
+        """Outstanding deliveries/acks/timers tagged with ``channel``."""
+        return self._channel_backlog.get(channel, 0)
+
     # -- traffic ----------------------------------------------------------
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
-        """Run ``fn`` after ``delay`` seconds of virtual time."""
+    def schedule(
+        self, delay: float, fn: Callable[[], None], channel: str | None = None
+    ) -> None:
+        """Run ``fn`` after ``delay`` seconds of virtual time.
+
+        ``channel`` attributes the timer to a logical channel's backlog,
+        so a channel-scoped drain keeps stepping until the callback ran.
+        """
         if delay < 0:
             raise ConfigurationError("cannot schedule into the past")
+        if channel is not None:
+            self._backlog_add(channel)
+            inner = fn
+
+            def fn() -> None:
+                self._backlog_sub(channel)
+                inner()
+
         heapq.heappush(
             self._queue, (self.now + delay, next(self._tiebreak), _Timer(fn))
         )
@@ -222,6 +264,10 @@ class SimNetwork:
                     alloc = self._allocators[msg.src] = MessageIdAllocator(msg.src)
                 msg.msg_id = alloc.next_id()
             self._pending[msg.msg_id] = {"msg": msg, "attempt": 1}
+            # The pending token keeps the channel's backlog non-zero until
+            # the delivery is acknowledged or declared failed, so a
+            # channel-scoped drain never stops between retransmissions.
+            self._backlog_add(msg.channel)
             self._transmit(msg)
             self.schedule(
                 self.resilience.ack_timeout, lambda: self._check_ack(msg.msg_id)
@@ -284,6 +330,7 @@ class SimNetwork:
             )
         delay = self.link_for(msg.src, msg.dst).delay_for(size) + extra_delay
         for _ in range(copies):
+            self._backlog_add(msg.channel)
             heapq.heappush(
                 self._queue,
                 (self.now + delay, next(self._tiebreak), _InFlight(msg, corrupted)),
@@ -317,6 +364,7 @@ class SimNetwork:
         attempt: int = entry["attempt"]
         if self.resilience.exhausted(attempt):
             self._pending.pop(msg_id, None)
+            self._backlog_sub(msg.channel)
             self.failed_links.add((msg.src, msg.dst))
             self.dead_letters.append(msg)
             if msg.channel is not None:
@@ -383,6 +431,7 @@ class SimNetwork:
             item.fn()
             return True
         msg = item.msg
+        self._backlog_sub(msg.channel)
         msg.delivered_at = self.now
         handler = self._handlers.get(msg.dst)
         if handler is None:
@@ -425,7 +474,9 @@ class SimNetwork:
             )
         if self.resilience is not None:
             if msg.kind == ACK_KIND:
-                self._pending.pop(msg.payload["mid"], None)
+                acked = self._pending.pop(msg.payload["mid"], None)
+                if acked is not None:
+                    self._backlog_sub(acked["msg"].channel)
                 return True
             if msg.msg_id is not None:
                 duplicate = self._dedup.seen((msg.src, msg.dst), msg.msg_id)

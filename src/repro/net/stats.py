@@ -53,6 +53,11 @@ class NetworkStats:
     by_link: Counter = field(default_factory=Counter)
     timings: dict = field(default_factory=dict)
     timing_calls: Counter = field(default_factory=Counter)
+    #: Connection-pool health (TCP transports): per-peer count of live
+    #: pooled connections, and per-peer reconnect events.  The simulator
+    #: has no connections; both stay empty there.
+    connections_open: Counter = field(default_factory=Counter)
+    reconnects: Counter = field(default_factory=Counter)
     _metrics: object = field(default=None, init=False, repr=False, compare=False)
     _metrics_prefix: str = field(
         default="repro_net", init=False, repr=False, compare=False
@@ -95,6 +100,46 @@ class NetworkStats:
                 f"{self._metrics_prefix}_dropped_total", help="messages dropped"
             ).inc()
 
+    def record_connect(self, peer: str, reconnect: bool = False) -> None:
+        """A pooled connection to ``peer`` opened (``reconnect``: reopened).
+
+        Feeds the ``repro_net_connections_open`` gauge and — for reopens
+        after a broken pipe — the ``repro_net_reconnects_total`` counter,
+        both labelled per peer.
+        """
+        with self._lock:
+            self.connections_open[peer] += 1
+            if reconnect:
+                self.reconnects[peer] += 1
+        if self._metrics is not None:
+            p = self._metrics_prefix
+            self._metrics.gauge(
+                f"{p}_connections_open",
+                help="live pooled transport connections",
+                labels={"peer": peer},
+            ).inc()
+            if reconnect:
+                self._metrics.counter(
+                    f"{p}_reconnects_total",
+                    help="pooled connections reopened after a failure",
+                    labels={"peer": peer},
+                ).inc()
+
+    def record_disconnect(self, peer: str) -> None:
+        """A pooled connection to ``peer`` closed."""
+        with self._lock:
+            left = self.connections_open[peer] - 1
+            if left > 0:
+                self.connections_open[peer] = left
+            else:
+                self.connections_open.pop(peer, None)
+        if self._metrics is not None:
+            self._metrics.gauge(
+                f"{self._metrics_prefix}_connections_open",
+                help="live pooled transport connections",
+                labels={"peer": peer},
+            ).dec()
+
     def record_timing(self, stage: str, seconds: float) -> None:
         """Accumulate ``seconds`` of wall-clock against a named stage."""
         with self._lock:
@@ -127,6 +172,10 @@ class NetworkStats:
             self.by_link.clear()
             self.timings.clear()
             self.timing_calls.clear()
+            # connections_open mirrors *live* pool state, not a tally of
+            # past events — resetting traffic counters must not desync the
+            # gauge from the sockets that are still open.
+            self.reconnects.clear()
 
     def snapshot(self) -> dict:
         """Plain-dict copy for logging / assertions (JSON-safe throughout:
@@ -143,6 +192,8 @@ class NetworkStats:
                 },
                 "timings": dict(self.timings),
                 "timing_calls": dict(self.timing_calls),
+                "connections_open": dict(self.connections_open),
+                "reconnects": dict(self.reconnects),
             }
 
 

@@ -111,6 +111,9 @@ class TcpNode:
         self._address_book: dict[NodeId, tuple[str, int]] = {}
         self._outbound: dict[NodeId, socket.socket] = {}
         self._outbound_lock = threading.Lock()
+        # Peers this node ever connected to: a later connect to one of
+        # them is a *re*connect in the pool-health ledger.
+        self._ever_connected: set[NodeId] = set()
         self._inbox: queue.Queue[Message] = queue.Queue()
         self._closed = threading.Event()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -159,6 +162,8 @@ class TcpNode:
         # Frames are small and latency-sensitive; never let Nagle hold them.
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._outbound[dst] = sock
+        self.stats.record_connect(dst, reconnect=dst in self._ever_connected)
+        self._ever_connected.add(dst)
         return sock
 
     def _ship(self, dst: NodeId, payload: bytes) -> None:
@@ -171,6 +176,7 @@ class TcpNode:
         except OSError:
             # One reconnect attempt: the peer may have restarted.
             sock.close()
+            self.stats.record_disconnect(dst)
             sock = self._connect(dst)
             sock.sendall(payload)
 
@@ -380,11 +386,12 @@ class TcpNode:
         except OSError:
             pass
         with self._outbound_lock:
-            for sock in self._outbound.values():
+            for dst, sock in self._outbound.items():
                 try:
                     sock.close()
                 except OSError:
                     pass
+                self.stats.record_disconnect(dst)
             self._outbound.clear()
 
     def __enter__(self) -> "TcpNode":

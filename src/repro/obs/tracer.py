@@ -29,15 +29,21 @@ reusable context manager yielding one shared inert span.  Hot paths that
 build attribute dicts per call should additionally gate on
 ``tracer.enabled`` (the transports do).
 
-The per-thread span stack means the tracer is safe to share across the
-TCP transport's reader threads: each thread nests its own spans.  Events
-fired on a thread with no open span land in a bounded *orphan buffer*
-(and count toward the ``repro_obs_orphan_events_total`` metric when a
-registry is attached) instead of being silently lost.
+The span stack lives in a :mod:`contextvars` variable, so the tracer is
+safe to share across the TCP transport's reader threads (each thread
+nests its own spans, exactly as the previous thread-local stack did)
+*and* across interleaved coroutines on one event loop (each
+``asyncio.Task`` runs in its own context copy, so two pipelined SMC
+rounds never corrupt each other's span nesting — the invariant
+``repro.aio`` depends on).  Events fired with no open span land in a
+bounded *orphan buffer* (and count toward the
+``repro_obs_orphan_events_total`` metric when a registry is attached)
+instead of being silently lost.
 """
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import os
 import threading
@@ -148,7 +154,14 @@ class Tracer:
         self._trace_ids = itertools.count(1)
         self._finished: list[Span] = []
         self._lock = threading.Lock()
-        self._local = threading.local()
+        # The open-span stack is an *immutable tuple* in a context
+        # variable: per-thread (fresh threads start with the default) and
+        # per-asyncio-task (each task runs in a context copy, and because
+        # the tuple is never mutated in place, sibling tasks that copied
+        # the same context cannot corrupt each other's nesting).
+        self._stack_var: contextvars.ContextVar[tuple[Span, ...]] = (
+            contextvars.ContextVar("repro_span_stack", default=())
+        )
         if orphan_capacity is None:
             orphan_capacity = int(
                 os.environ.get(ORPHAN_BUFFER_ENV_VAR, str(DEFAULT_ORPHAN_BUFFER))
@@ -159,11 +172,20 @@ class Tracer:
 
     # -- span lifecycle ----------------------------------------------------
 
-    def _stack(self) -> list[Span]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
+    def _stack(self) -> tuple[Span, ...]:
+        return self._stack_var.get()
+
+    def detach_context(self) -> None:
+        """Clear the open-span stack in *this* execution context.
+
+        ``asyncio.run_coroutine_threadsafe`` copies the submitting
+        thread's context into the new task — including any span that
+        thread happens to have open.  A per-query task calls this first
+        so its ``sched.query`` span is a genuine root, not an accidental
+        child of whatever the submitter was doing.  Sync callers never
+        need it.
+        """
+        self._stack_var.set(())
 
     @property
     def current_span(self) -> Span | None:
@@ -225,11 +247,11 @@ class Tracer:
             node=self.node,
             remote_parent=remote,
         )
-        stack.append(span)
+        token = self._stack_var.set(stack + (span,))
         try:
             yield span
         finally:
-            stack.pop()
+            self._stack_var.reset(token)
             span.end = self._clock()
             self._store(span)
 
@@ -350,6 +372,9 @@ class NoopTracer:
 
     def current_context(self) -> None:
         return None
+
+    def detach_context(self) -> None:
+        pass
 
     def add_event(self, name: str, attributes: dict | None = None) -> None:
         pass

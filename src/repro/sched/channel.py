@@ -129,12 +129,14 @@ class Channel:
         msg.channel = self.tag
         with self.mux.lock:
             self.mux.net.send(msg)
+            self.mux.wakeup.notify_all()
 
     def send_many(self, msgs: list[Message]) -> None:
         for msg in msgs:
             msg.channel = self.tag
         with self.mux.lock:
             self.mux.net.send_many(msgs)
+            self.mux.wakeup.notify_all()
 
     def broadcast(
         self, src: NodeId, kind: str, payload, exclude: set[NodeId] | None = None
@@ -148,7 +150,14 @@ class Channel:
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
         with self.mux.lock:
-            self.mux.net.schedule(delay, fn)
+            self.mux.net.schedule(delay, fn, channel=self.tag)
+            self.mux.wakeup.notify_all()
+
+    @property
+    def backlog(self) -> int:
+        """Outstanding deliveries/acks/timers tagged with this channel."""
+        with self.mux.lock:
+            return self.mux.net.channel_backlog(self.tag)
 
     def reset_failures(self) -> None:
         """Clear only this channel's failure bucket (failover relaunch)."""
@@ -165,13 +174,27 @@ class Channel:
         lock is released between steps so concurrent channel runners
         interleave fairly.  Quiescence of the global queue implies every
         delivery this channel was waiting for has been dispatched.
+
+        An empty queue with outstanding channel backlog (work another
+        thread is about to enqueue — e.g. the async scheduler's loop
+        thread) is not treated as quiescence: the runner parks on the
+        mux's condition variable instead of spinning, and wakes when the
+        next send/schedule lands.  An idle mux therefore costs ~0 steps
+        and ~0 CPU.
         """
         steps = 0
         check_deadline = deadline is not None and deadline.is_finite
         while True:
             with self.mux.lock:
                 if not self.mux.net.step():
-                    return steps
+                    if self.mux.net.channel_backlog(self.tag) <= 0:
+                        return steps
+                    # Queue momentarily empty but this channel still owes
+                    # work: wait for the producer's wakeup, never busy-poll.
+                    self.mux.wakeup.wait(timeout=0.05)
+                    if check_deadline and deadline.expired:
+                        deadline.check(f"channel[{self.tag}].run")
+                    continue
             steps += 1
             if steps >= max_steps:
                 raise ConfigurationError(
@@ -203,9 +226,17 @@ class Channel:
 class ChannelMux:
     """Routes one :class:`SimNetwork`'s deliveries to per-channel handlers."""
 
+    #: Class of the channels :meth:`channel` constructs.  The async mux
+    #: (:class:`repro.aio.AsyncChannelMux`) overrides this to hand out
+    #: drain-capable channels without re-implementing the routing.
+    channel_class = Channel
+
     def __init__(self, net: SimNetwork) -> None:
         self.net = net
         self.lock = threading.RLock()
+        #: Notified whenever a channel enqueues work (send / schedule), so
+        #: helpers parked in :meth:`Channel.run` wake without polling.
+        self.wakeup = threading.Condition(self.lock)
         self._channels: dict[str, Channel] = {}
         self._handlers: dict[tuple[str, NodeId], Handler] = {}
         # node -> channels currently registered on it (physical dispatcher
@@ -218,7 +249,7 @@ class ChannelMux:
         with self.lock:
             ch = self._channels.get(tag)
             if ch is None:
-                ch = self._channels[tag] = Channel(self, tag)
+                ch = self._channels[tag] = self.channel_class(self, tag)
             return ch
 
     # -- internal wiring (mux lock held by the calling Channel) ------------

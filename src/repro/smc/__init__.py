@@ -14,6 +14,10 @@ The primitive set the paper builds confidential auditing from:
 a blind TTP may coordinate, and *secondary* information may be disclosed —
 every such disclosure is recorded in the run's
 :class:`~repro.smc.leakage.LeakageLedger`.
+
+Every driver also has a ``secure_*_async`` coroutine twin (driven by
+``await net.drain(...)`` on an event loop, see :mod:`repro.aio`) with
+bitwise-identical results, spans, costs and leakage.
 """
 
 from repro.smc.base import SmcContext, SmcResult
@@ -21,19 +25,24 @@ from repro.smc.comparison import (
     COMPARISON_OPERATORS,
     evaluate_operator,
     secure_compare,
+    secure_compare_async,
     secure_compare_batch,
+    secure_compare_batch_async,
 )
 from repro.smc.equality import (
     AffineBlinding,
     BlindTtp,
     EqualityParty,
     secure_equality,
+    secure_equality_async,
     secure_equality_commutative,
+    secure_equality_commutative_async,
 )
 from repro.smc.intersection import (
     IntersectionParty,
     fig4_walkthrough,
     secure_set_intersection,
+    secure_set_intersection_async,
 )
 from repro.smc.leakage import LeakageEvent, LeakageLedger
 from repro.smc.ranking import (
@@ -41,9 +50,16 @@ from repro.smc.ranking import (
     RankingParty,
     RankingTtp,
     secure_ranking,
+    secure_ranking_async,
 )
-from repro.smc.sum_ import SumParty, secure_sum, secure_weighted_sum
-from repro.smc.union_ import UnionParty, secure_set_union
+from repro.smc.sum_ import (
+    SumParty,
+    secure_sum,
+    secure_sum_async,
+    secure_weighted_sum,
+    secure_weighted_sum_async,
+)
+from repro.smc.union_ import UnionParty, secure_set_union, secure_set_union_async
 
 __all__ = [
     "SmcContext",
@@ -51,24 +67,33 @@ __all__ = [
     "LeakageEvent",
     "LeakageLedger",
     "secure_set_intersection",
+    "secure_set_intersection_async",
     "IntersectionParty",
     "fig4_walkthrough",
     "secure_set_union",
+    "secure_set_union_async",
     "UnionParty",
     "secure_equality",
+    "secure_equality_async",
     "secure_equality_commutative",
+    "secure_equality_commutative_async",
     "AffineBlinding",
     "BlindTtp",
     "EqualityParty",
     "secure_sum",
+    "secure_sum_async",
     "secure_weighted_sum",
+    "secure_weighted_sum_async",
     "SumParty",
     "secure_ranking",
+    "secure_ranking_async",
     "MonotoneBlinding",
     "RankingParty",
     "RankingTtp",
     "secure_compare",
+    "secure_compare_async",
     "secure_compare_batch",
+    "secure_compare_batch_async",
     "evaluate_operator",
     "COMPARISON_OPERATORS",
 ]

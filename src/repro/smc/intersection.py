@@ -45,10 +45,21 @@ from repro.crypto.pohlig_hellman import PohligHellmanCipher
 from repro.errors import ConfigurationError, ProtocolAbortError, RingFailoverError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
-from repro.resilience import Deadline, pick_coordinator, ring_avoiding, supervise_ring
+from repro.resilience import (
+    Deadline,
+    pick_coordinator,
+    ring_avoiding,
+    supervise_ring,
+    supervise_ring_async,
+)
 from repro.smc.base import SmcContext, SmcResult, protocol_span
 
-__all__ = ["IntersectionParty", "secure_set_intersection", "fig4_walkthrough"]
+__all__ = [
+    "IntersectionParty",
+    "secure_set_intersection",
+    "secure_set_intersection_async",
+    "fig4_walkthrough",
+]
 
 PROTOCOL = "secure_set_intersection"
 
@@ -565,6 +576,157 @@ def _run_supervised(
         return collect
 
     return supervise_ring(
+        net, PROTOCOL, parties, launch,
+        min_parties=1, deadline=deadline, ledger=ctx.leakage,
+    )
+
+
+async def secure_set_intersection_async(
+    ctx: SmcContext,
+    sets: dict[str, list],
+    observers: list[str] | None = None,
+    net=None,
+    shuffle: bool = False,
+    collector: str | None = None,
+    ring: list[str] | None = None,
+    coalesce: bool = False,
+    deadline: Deadline | None = None,
+) -> SmcResult:
+    """Coroutine twin of :func:`secure_set_intersection`.
+
+    Identical validation, party construction, spans and leakage; the only
+    difference is that rounds are driven by ``await net.drain(...)`` on an
+    event loop instead of the blocking ``net.run(...)``, so several runs
+    over one shared network pipeline their ring hops.  Results are
+    bitwise-identical to the sync driver.
+    """
+    if len(sets) < 1:
+        raise ConfigurationError("intersection needs at least one party")
+    parties = sorted(sets)
+    observers = sorted(observers) if observers else list(parties)
+    unknown = [o for o in observers if o not in parties]
+    if unknown:
+        raise ConfigurationError(f"observers {unknown} are not parties")
+    collector = collector or observers[0]
+    if collector not in parties:
+        raise ConfigurationError(f"collector {collector!r} is not a party")
+    if net is None:
+        from repro.aio.simnet import AsyncSimNetwork
+
+        net = AsyncSimNetwork(tracer=ctx.tracer)
+
+    with protocol_span(
+        ctx,
+        net,
+        "smc.intersection",
+        {
+            "parties": len(parties),
+            "set_sizes": {pid: len(sets[pid]) for pid in parties},
+            "engine": ctx.engine.name,
+            "shuffle": shuffle,
+            "coalesce": coalesce,
+        },
+    ):
+        if net.reliable:
+            outcome = await _run_supervised_async(
+                ctx, net, sets, parties, observers, collector,
+                shuffle=shuffle, ring=ring, coalesce=coalesce, deadline=deadline,
+            )
+            return SmcResult(
+                protocol=PROTOCOL,
+                observers=frozenset(outcome.values),
+                values=outcome.values,
+                rounds=len(parties),
+                degraded=outcome.degraded,
+                skipped=outcome.skipped,
+                failovers=outcome.failovers,
+            )
+        nodes = {
+            pid: IntersectionParty(
+                pid, sets[pid], ctx, parties, observers, collector,
+                shuffle=shuffle, ring=ring,
+            )
+            for pid in parties
+        }
+        for pid, node in nodes.items():
+            net.register(pid, node.handle)
+        if coalesce:
+            nodes[collector].start_convoy(net)
+        else:
+            for node in nodes.values():
+                node.start(net)
+        await net.drain(deadline=deadline)
+
+    values = {}
+    for obs in observers:
+        result = nodes[obs].state.result
+        if result is None:
+            raise ProtocolAbortError(f"observer {obs} never received the result")
+        values[obs] = result
+    return SmcResult(
+        protocol=PROTOCOL,
+        observers=frozenset(observers),
+        values=values,
+        rounds=len(parties),
+    )
+
+
+async def _run_supervised_async(
+    ctx: SmcContext,
+    net,
+    sets: dict[str, list],
+    parties: list[str],
+    observers: list[str],
+    collector: str,
+    *,
+    shuffle: bool,
+    ring: list[str] | None,
+    coalesce: bool,
+    deadline: Deadline | None,
+):
+    """Coroutine twin of :func:`_run_supervised` (same launch closure)."""
+    nodes: dict[str, IntersectionParty] = {}
+
+    def launch(alive: list[str], avoid: frozenset):
+        obs_alive = [o for o in observers if o in alive]
+        if not obs_alive:
+            raise RingFailoverError(
+                f"{PROTOCOL}: every authorized observer is unreachable"
+            )
+        candidates = sorted(set(obs_alive) | ({collector} & set(alive)))
+        coll = pick_coordinator(candidates, avoid, default=collector)
+        prefer = [p for p in (ring or sorted(alive)) if p in alive]
+        ring_order = ring_avoiding(alive, avoid, prefer=prefer)
+        nodes.clear()
+        nodes.update(
+            {
+                pid: IntersectionParty(
+                    pid, sets[pid], ctx, alive, obs_alive, coll,
+                    shuffle=shuffle, ring=ring_order,
+                )
+                for pid in alive
+            }
+        )
+        for pid, node in nodes.items():
+            net.register(pid, node.handle)
+        if coalesce:
+            nodes[coll].start_convoy(net)
+        else:
+            for node in nodes.values():
+                node.start(net)
+
+        def collect():
+            values = {}
+            for obs in obs_alive:
+                result = nodes[obs].state.result
+                if result is None:
+                    return None
+                values[obs] = result
+            return values
+
+        return collect
+
+    return await supervise_ring_async(
         net, PROTOCOL, parties, launch,
         min_parties=1, deadline=deadline, ledger=ctx.leakage,
     )

@@ -26,10 +26,16 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError, ProtocolAbortError
 from repro.net.message import Message
 from repro.net.simnet import SimNetwork
-from repro.resilience import Deadline, standby_id, supervise_ring
+from repro.resilience import Deadline, standby_id, supervise_ring, supervise_ring_async
 from repro.smc.base import SmcContext, SmcResult, protocol_span
 
-__all__ = ["MonotoneBlinding", "RankingTtp", "RankingParty", "secure_ranking"]
+__all__ = [
+    "MonotoneBlinding",
+    "RankingTtp",
+    "RankingParty",
+    "secure_ranking",
+    "secure_ranking_async",
+]
 
 PROTOCOL = "secure_ranking"
 
@@ -254,6 +260,91 @@ def secure_ranking(
         for party in parties.values():
             party.start(net)
         net.run(deadline=deadline)
+
+    out = {}
+    for pid, party in parties.items():
+        if party.verdict is None:
+            raise ProtocolAbortError(f"party {pid} never received its rank")
+        out[pid] = party.verdict
+    return SmcResult(
+        protocol=PROTOCOL, observers=frozenset(values), values=out, rounds=2
+    )
+
+
+async def secure_ranking_async(
+    ctx: SmcContext,
+    values: dict[str, int],
+    value_bound: int | None = None,
+    ttp_id: str = "ttp",
+    net=None,
+    rank_only_noise: bool = False,
+    group_label: str = "rank-0",
+    deadline: Deadline | None = None,
+) -> SmcResult:
+    """Coroutine twin of :func:`secure_ranking` (same blinding and spans)."""
+    if len(values) < 2:
+        raise ConfigurationError("ranking needs at least two parties")
+    if any(v < 0 for v in values.values()):
+        raise ConfigurationError("ranking takes non-negative integers")
+    bound = value_bound if value_bound is not None else max(values.values())
+    blinding = MonotoneBlinding.agree(ctx, group_label, bound)
+    if net is None:
+        from repro.aio.simnet import AsyncSimNetwork
+
+        net = AsyncSimNetwork(tracer=ctx.tracer)
+
+    with protocol_span(
+        ctx,
+        net,
+        "smc.ranking",
+        {"parties": len(values), "rank_only_noise": rank_only_noise},
+    ):
+        def build(alive: list[str], ttp_node_id: str) -> dict[str, RankingParty]:
+            ttp = RankingTtp(ttp_node_id, ctx, expected=len(alive))
+            net.register(ttp_node_id, ttp.handle)
+            parties = {
+                pid: RankingParty(
+                    pid, values[pid], ctx, blinding, ttp_node_id, rank_only_noise
+                )
+                for pid in alive
+            }
+            for pid, party in parties.items():
+                net.register(pid, party.handle)
+            return parties
+
+        if net.reliable:
+            box: dict[str, RankingParty] = {}
+
+            def launch(alive: list[str], avoid: frozenset):
+                box.clear()
+                box.update(build(alive, standby_id(ttp_id, avoid)))
+                for party in box.values():
+                    party.start(net)
+
+                def collect():
+                    if any(p.verdict is None for p in box.values()):
+                        return None
+                    return {pid: p.verdict for pid, p in box.items()}
+
+                return collect
+
+            outcome = await supervise_ring_async(
+                net, PROTOCOL, sorted(values), launch,
+                min_parties=2, deadline=deadline, ledger=ctx.leakage,
+            )
+            return SmcResult(
+                protocol=PROTOCOL,
+                observers=frozenset(outcome.values),
+                values=outcome.values,
+                rounds=2,
+                degraded=outcome.degraded,
+                skipped=outcome.skipped,
+                failovers=outcome.failovers,
+            )
+        parties = build(sorted(values), ttp_id)
+        for party in parties.values():
+            party.start(net)
+        await net.drain(deadline=deadline)
 
     out = {}
     for pid, party in parties.items():

@@ -1,0 +1,1 @@
+"""Async-core (repro.aio) suite: sync/async equivalence and the event-loop scheduler."""

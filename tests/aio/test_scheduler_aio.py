@@ -1,0 +1,171 @@
+"""The event-loop scheduler: same answers, same ledgers, more in flight.
+
+:class:`~repro.aio.AsyncQueryScheduler` must be observationally identical
+to the thread scheduler — every handle resolves to what a serial
+:meth:`query` on a twin deployment returns, per-query cost and leakage
+merge into the service ledgers exactly, traces reconcile span-by-span —
+while sustaining hundreds of in-flight queries that a thread pool cannot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aio import AsyncQueryScheduler, aio_scheduler_enabled
+from repro.errors import DeadlineExceededError, SchedulerShutdownError
+from tests.sched.conftest import CRITERIA, build_service
+
+
+class TestEquivalenceToSerial:
+    def test_matches_serial_twin(self):
+        serial, concurrent = build_service(), build_service()
+        expected = [serial.query(c) for c in CRITERIA]
+        with AsyncQueryScheduler(concurrent) as sched:
+            handles = [sched.submit(c) for c in CRITERIA]
+            results = sched.gather(handles)
+        for got, want in zip(results, expected):
+            assert got.glsns == want.glsns
+            assert got.subquery_glsns == want.subquery_glsns
+        serial.close()
+        concurrent.close()
+
+    def test_ledger_reconciliation_is_exact(self):
+        service = build_service()
+        leakage_before = service.ctx.leakage.count()
+        with AsyncQueryScheduler(service, coalesce=False) as sched:
+            handles = [sched.submit(c) for c in CRITERIA]
+            sched.gather(handles)
+        # Every handle owns its private cost and leakage...
+        assert all(h.cost is not None for h in handles)
+        per_query_events = sum(len(h.leakage) for h in handles)
+        # ...and the service-wide ledger grew by exactly their union.
+        assert service.ctx.leakage.count() - leakage_before == per_query_events
+        service.close()
+
+    def test_coalesced_queries_fan_out_with_ledger_entry(self):
+        service = build_service()
+        with AsyncQueryScheduler(service) as sched:
+            handles = [sched.submit(CRITERIA[0]) for _ in range(4)]
+            results = sched.gather(handles)
+            stats = sched.coalesce_stats()
+        assert len({tuple(r.glsns) for r in results}) == 1
+        coalesced = [h for h in handles if h.coalesced]
+        assert coalesced, "identical concurrent queries must share one execution"
+        for handle in coalesced:
+            assert handle.cost.messages == 0
+            assert [e.category for e in handle.leakage] == ["coalesced_result"]
+        # Later twins either join the in-flight compute or hit its cached
+        # value — both count as shared executions.
+        q = stats["sched.query"]
+        assert q["joins"] + q["hits"] >= len(coalesced)
+        service.close()
+
+
+class TestTraceReconciliation:
+    def test_every_trace_sums_to_its_cost_report(self):
+        from repro.obs import Tracer
+        from repro.obs.assemble import assemble_trace
+
+        tracer = Tracer()
+        service = build_service(rows=24, tracer=tracer)
+        service.warm_pools(include_witnesses=False)
+        with AsyncQueryScheduler(service, coalesce=False) as sched:
+            handles = [sched.submit(c) for c in CRITERIA]
+            results = sched.gather(handles)
+        assert all(r is not None for r in results)
+
+        roots = {
+            s.attributes["channel"]: s
+            for s in tracer.finished_spans()
+            if s.name == "sched.query"
+        }
+        node_spans = service.telemetry.drain_all()
+        coord_spans = tracer.finished_spans()
+        assert service.telemetry.dropped_spans() == 0
+
+        checked_network_traces = 0
+        for handle in handles:
+            root = roots[f"q{handle.seq}"]
+            cost = handle.cost
+            assert cost is not None
+            mine = [s for s in node_spans if s.trace_id == root.trace_id]
+            assert sum(s.attributes.get("messages", 0) for s in mine) == cost.messages
+            assert sum(s.attributes.get("bytes", 0) for s in mine) == cost.bytes
+            assert sum(s.attributes.get("modexp", 0) for s in mine) == cost.modexp
+            assert cost.offline_modexp + cost.online_modexp == cost.modexp
+            if cost.messages:
+                checked_network_traces += 1
+                assembled = assemble_trace(coord_spans + mine, root.trace_id)
+                assert not any(
+                    "unresolved_parent" in s.attributes for s in assembled
+                )
+                tree_roots = [s for s in assembled if s.parent_id is None]
+                assert [r.name for r in tree_roots] == ["sched.query"]
+        assert checked_network_traces >= 2
+        service.close()
+
+
+class TestInflightScale:
+    def test_sustains_hundreds_in_flight(self):
+        """300 queries admitted at once — far beyond any thread pool —
+        all resolve, in submission order, to one consistent answer."""
+        service = build_service(rows=12)
+        with AsyncQueryScheduler(service, coalesce=False) as sched:
+            handles = [sched.submit("C3 = 'bank'") for _ in range(300)]
+            assert len(handles) == 300  # admission never blocked
+            results = sched.gather(handles)
+        assert len({tuple(r.glsns) for r in results}) == 1
+        assert [h.seq for h in handles] == list(range(1, 301))
+        service.close()
+
+    def test_max_inflight_bounds_concurrent_execution(self):
+        service = build_service(rows=12)
+        gauge_high = 0
+        with AsyncQueryScheduler(service, max_inflight=2, coalesce=False) as sched:
+            handles = [sched.submit("C3 = 'bank'") for _ in range(12)]
+            sched.gather(handles)
+            gauge_high = max(
+                gauge_high, sched._inflight_gauge.value  # post-run: drained to 0
+            )
+        assert sched._inflight_gauge.value == 0
+        service.close()
+
+
+class TestLifecycle:
+    def test_submit_after_shutdown_raises(self):
+        service = build_service(rows=8)
+        sched = AsyncQueryScheduler(service)
+        sched.submit("C3 = 'bank'").result()
+        sched.shutdown()
+        with pytest.raises(SchedulerShutdownError):
+            sched.submit("C3 = 'bank'")
+        sched.shutdown()  # idempotent
+        service.close()
+
+    def test_deadline_expires_in_admission(self):
+        service = build_service(rows=8)
+        with AsyncQueryScheduler(service) as sched:
+            handle = sched.submit("C1 > 30 and C3 = 'bank'", timeout=0.0)
+            with pytest.raises(DeadlineExceededError):
+                handle.result(timeout=10.0)
+        service.close()
+
+
+class TestServiceRouting:
+    def test_service_scheduler_is_async_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AIO_SCHEDULER", raising=False)
+        assert aio_scheduler_enabled()
+        service = build_service(rows=8)
+        assert type(service.scheduler).__name__ == "AsyncQueryScheduler"
+        result = service.submit("C3 = 'bank'").result()
+        assert result is not None
+        service.close()
+
+    def test_env_off_restores_thread_scheduler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AIO_SCHEDULER", "off")
+        assert not aio_scheduler_enabled()
+        service = build_service(rows=8)
+        assert type(service.scheduler).__name__ == "QueryScheduler"
+        result = service.submit("C3 = 'bank'").result()
+        assert result is not None
+        service.close()

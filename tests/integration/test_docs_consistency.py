@@ -161,6 +161,19 @@ class TestDocsReferenceRealKnobs:
             f"REPRO_STORE_* knobs missing from docs/storage.md: {undocumented}"
         )
 
+    def test_every_aio_knob_documented(self):
+        """Reverse sweep for the async core: every ``REPRO_AIO_*`` knob
+        the event-loop stack reads (scheduler routing, in-flight bound,
+        drain yield cadence) must appear in the docs."""
+        aio_source = "\n".join(read(p) for p in (SRC / "aio").rglob("*.py"))
+        defined = set(re.findall(r"\bREPRO_AIO_[A-Z_]*[A-Z]\b", aio_source))
+        assert defined, "expected REPRO_AIO_* knobs in repro.aio"
+        docs = all_docs()
+        undocumented = sorted(v for v in defined if v not in docs)
+        assert not undocumented, (
+            f"REPRO_AIO_* knobs missing from the docs: {undocumented}"
+        )
+
     def test_every_precompute_knob_documented(self):
         """Same reverse sweep for the offline/online split: every
         ``REPRO_PRECOMPUTE*`` knob read by ``repro.precompute`` must be

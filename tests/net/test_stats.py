@@ -30,6 +30,8 @@ class TestNetworkStats:
             "by_link": {"a->b": 1},
             "timings": {},
             "timing_calls": {},
+            "connections_open": {},
+            "reconnects": {},
         }
 
     def test_snapshot_is_json_safe(self):
@@ -79,6 +81,53 @@ class TestNetworkStats:
         empty = NetworkStats()
         assert stats.snapshot() == empty.snapshot()
         assert stats == empty
+
+
+class TestConnectionHealth:
+    def test_connect_disconnect_tracks_pool(self):
+        stats = NetworkStats()
+        stats.record_connect("B")
+        stats.record_connect("B")
+        stats.record_connect("C")
+        assert dict(stats.connections_open) == {"B": 2, "C": 1}
+        stats.record_disconnect("B")
+        assert dict(stats.connections_open) == {"B": 1, "C": 1}
+        stats.record_disconnect("B")
+        stats.record_disconnect("C")
+        # Fully-closed peers disappear from the snapshot entirely.
+        assert dict(stats.connections_open) == {}
+
+    def test_reconnects_counted_separately(self):
+        stats = NetworkStats()
+        stats.record_connect("B")
+        stats.record_disconnect("B")
+        stats.record_connect("B", reconnect=True)
+        assert dict(stats.connections_open) == {"B": 1}
+        assert dict(stats.reconnects) == {"B": 1}
+
+    def test_reset_keeps_live_pool_state(self):
+        # connections_open mirrors sockets that are actually open; a stats
+        # reset between queries must not desync the gauge from the pool.
+        stats = NetworkStats()
+        stats.record_connect("B")
+        stats.record_connect("B", reconnect=True)
+        stats.reset()
+        assert dict(stats.connections_open) == {"B": 2}
+        assert dict(stats.reconnects) == {}
+
+    def test_metrics_gauge_and_counter(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stats = NetworkStats()
+        stats.attach_metrics(registry)
+        stats.record_connect("B")
+        stats.record_connect("C", reconnect=True)
+        stats.record_disconnect("B")
+        dump = registry.render_prometheus()
+        assert 'repro_net_connections_open{peer="B"} 0' in dump
+        assert 'repro_net_connections_open{peer="C"} 1' in dump
+        assert 'repro_net_reconnects_total{peer="C"} 1' in dump
 
 
 class TestCryptoOpCounter:

@@ -202,3 +202,46 @@ class TestSendMany:
         with TcpCluster(["A"]) as cluster:
             cluster["A"].send_many([])
             assert cluster["A"].stats.messages == 0
+
+
+class TestConnectionPoolHealth:
+    def test_first_send_opens_one_pooled_connection(self):
+        with TcpCluster(["A", "B"]) as cluster:
+            cluster["A"].send(Message(src="A", dst="B", kind="k", payload=1))
+            cluster["A"].send(Message(src="A", dst="B", kind="k", payload=2))
+            cluster["B"].receive(timeout=5.0)
+            cluster["B"].receive(timeout=5.0)
+            # Two sends, one pooled socket — and no reconnect recorded.
+            assert dict(cluster["A"].stats.connections_open) == {"B": 1}
+            assert dict(cluster["A"].stats.reconnects) == {}
+
+    def test_stats_reset_keeps_pool_gauge(self):
+        with TcpCluster(["A", "B"]) as cluster:
+            cluster["A"].send(Message(src="A", dst="B", kind="k", payload=1))
+            cluster["B"].receive(timeout=5.0)
+            cluster["A"].stats.reset()
+            # Traffic counters clear; the gauge keeps mirroring the live socket.
+            assert cluster["A"].stats.messages == 0
+            assert dict(cluster["A"].stats.connections_open) == {"B": 1}
+
+    def test_broken_socket_counts_a_reconnect(self):
+        with TcpCluster(["A", "B"]) as cluster:
+            cluster["A"].send(Message(src="A", dst="B", kind="k", payload=1))
+            cluster["B"].receive(timeout=5.0)
+            # Kill the pooled socket from under the sender; the next send
+            # hits OSError and takes the single-retry reconnect path.
+            cluster["A"]._outbound["B"].close()
+            cluster["A"].send(Message(src="A", dst="B", kind="k", payload=2))
+            assert cluster["B"].receive(timeout=5.0).payload == 2
+            assert dict(cluster["A"].stats.connections_open) == {"B": 1}
+            assert dict(cluster["A"].stats.reconnects) == {"B": 1}
+
+    def test_close_drains_the_gauge(self):
+        cluster = TcpCluster(["A", "B"])
+        try:
+            cluster["A"].send(Message(src="A", dst="B", kind="k", payload=1))
+            cluster["B"].receive(timeout=5.0)
+            stats = cluster["A"].stats
+        finally:
+            cluster.close()
+        assert dict(stats.connections_open) == {}
